@@ -1,0 +1,46 @@
+// Ablation A1 — the smallest-cycle-first heuristic.
+//
+// The paper breaks the smallest CDG cycle first, arguing a short cycle
+// often shares edges with longer ones so one break can kill several
+// cycles. This harness compares smallest-first against first-found and
+// largest-first cycle selection on deadlock-prone designs: total VCs
+// added and iterations taken.
+#include <iostream>
+
+#include "bench_common.h"
+#include "test_support_designs.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+int main() {
+  std::cout << "=== A1: cycle-selection policy ablation ===\n\n";
+  TextTable table;
+  table.SetHeader({"design", "smallest: VCs", "iters", "first: VCs",
+                   "iters", "largest: VCs", "iters"});
+
+  std::size_t total[3] = {0, 0, 0};
+  const CyclePolicy policies[3] = {CyclePolicy::kSmallestFirst,
+                                   CyclePolicy::kFirstFound,
+                                   CyclePolicy::kLargestFirst};
+  for (const auto& [name, make] : bench::DeadlockProneDesigns()) {
+    std::vector<std::string> row = {name};
+    for (int pi = 0; pi < 3; ++pi) {
+      NocDesign d = make();
+      RemovalOptions options;
+      options.cycle_policy = policies[pi];
+      const auto report = RemoveDeadlocks(d, options);
+      row.push_back(std::to_string(report.vcs_added));
+      row.push_back(std::to_string(report.iterations));
+      total[pi] += report.vcs_added;
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nTotal VCs added: smallest-first " << total[0]
+            << ", first-found " << total[1] << ", largest-first " << total[2]
+            << "\n";
+  std::cout << "(The paper's smallest-first choice should be no worse than "
+               "the alternatives in aggregate.)\n";
+  return 0;
+}

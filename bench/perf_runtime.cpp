@@ -1,0 +1,89 @@
+// Experiment E7 — algorithm runtime ("the method runs within minutes
+// even for the largest benchmark"; on modern hardware it should be
+// milliseconds). google-benchmark timings for the full removal pipeline
+// and its pieces across problem sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+#include "test_support_designs.h"
+
+using namespace nocdr;
+
+namespace {
+
+void BM_CdgBuild(benchmark::State& state) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto design = SynthesizeDesign(
+      b.traffic, b.name, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChannelDependencyGraph::Build(design));
+  }
+}
+BENCHMARK(BM_CdgBuild)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SmallestCycle(benchmark::State& state) {
+  const auto design =
+      bench::MakeRing(static_cast<std::size_t>(state.range(0)), 3);
+  const auto cdg = ChannelDependencyGraph::Build(design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmallestCycle(cdg));
+  }
+}
+BENCHMARK(BM_SmallestCycle)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RemoveDeadlocks_Ring(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto design =
+        bench::MakeRing(static_cast<std::size_t>(state.range(0)), 3);
+    state.ResumeTiming();
+    const auto report = RemoveDeadlocks(design);
+    benchmark::DoNotOptimize(report.vcs_added);
+  }
+}
+BENCHMARK(BM_RemoveDeadlocks_Ring)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RemoveDeadlocks_D36_8(benchmark::State& state) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto base = SynthesizeDesign(
+      b.traffic, b.name, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto design = base;
+    state.ResumeTiming();
+    const auto report = RemoveDeadlocks(design);
+    benchmark::DoNotOptimize(report.vcs_added);
+  }
+}
+BENCHMARK(BM_RemoveDeadlocks_D36_8)->Arg(14)->Arg(24)->Arg(34);
+
+void BM_ResourceOrdering_D36_8(benchmark::State& state) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto base = SynthesizeDesign(
+      b.traffic, b.name, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto design = base;
+    state.ResumeTiming();
+    const auto report = ApplyResourceOrdering(design);
+    benchmark::DoNotOptimize(report.vcs_added);
+  }
+}
+BENCHMARK(BM_ResourceOrdering_D36_8)->Arg(14)->Arg(24)->Arg(34);
+
+void BM_FullPipeline_Largest(benchmark::State& state) {
+  // Synthesis + removal on the largest benchmark (D38_tvo).
+  const auto b = MakeBenchmark(SocBenchmarkId::kD38Tvo);
+  for (auto _ : state) {
+    auto design = SynthesizeDesign(b.traffic, b.name, 14);
+    const auto report = RemoveDeadlocks(design);
+    benchmark::DoNotOptimize(report.vcs_added);
+  }
+}
+BENCHMARK(BM_FullPipeline_Largest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Extension experiment E9 — latency vs. offered load in simulation.
+//
+// Classic NoC evaluation the paper's venue expects around its method:
+// after deadlock handling, how does the network behave under increasing
+// load? Sweeps the Bernoulli injection rate on D36_8 @ 14 switches for
+// both deadlock-free designs (removal algorithm vs. resource ordering)
+// and reports average packet latency and delivery rate. The removal
+// design has fewer VCs (cheaper) yet — since both run the same physical
+// routes — serves comparable latency until saturation.
+#include <iostream>
+
+#include "bench_common.h"
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+namespace {
+
+SimResult RunAt(const NocDesign& design, double rate) {
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kBernoulli;
+  cfg.traffic.packet_length = 5;
+  cfg.traffic.reference_injection_rate = rate;
+  cfg.traffic.seed = 7;
+  cfg.buffer_depth = 4;
+  cfg.max_cycles = 30000;
+  cfg.stall_threshold = 5000;
+  return SimulateWorkload(design, cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E9: latency vs offered load, D36_8 @ 14 switches "
+               "(5-flit packets, Bernoulli) ===\n\n";
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto base = SynthesizeDesign(b.traffic, b.name, 14);
+  auto removal_design = base;
+  auto ordering_design = base;
+  RemoveDeadlocks(removal_design);
+  ApplyResourceOrdering(ordering_design);
+  std::cout << "removal design: " << removal_design.topology.ExtraVcCount()
+            << " extra VCs; ordering design: "
+            << ordering_design.topology.ExtraVcCount() << " extra VCs\n\n";
+
+  TextTable table;
+  table.SetHeader({"inj. rate", "removal: latency", "delivered",
+                   "ordering: latency", "delivered"});
+  for (double rate : {0.0005, 0.001, 0.002, 0.004, 0.008, 0.016}) {
+    const auto rm = RunAt(removal_design, rate);
+    const auto ro = RunAt(ordering_design, rate);
+    auto delivered = [](const SimResult& r) {
+      return r.packets_offered == 0
+                 ? std::string("-")
+                 : FormatDouble(100.0 *
+                                    static_cast<double>(r.packets_delivered) /
+                                    static_cast<double>(r.packets_offered),
+                                1) +
+                       "%";
+    };
+    table.AddRow({FormatDouble(rate, 4),
+                  FormatDouble(rm.avg_packet_latency, 1) + " cyc",
+                  delivered(rm),
+                  FormatDouble(ro.avg_packet_latency, 1) + " cyc",
+                  delivered(ro)});
+    if (rm.deadlocked || ro.deadlocked) {
+      std::cout << "UNEXPECTED DEADLOCK at rate " << rate << "\n";
+      return 1;
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nNeither design may ever deadlock (both CDGs are "
+               "acyclic); the delivery-rate drop at high load is\n"
+               "saturation, not deadlock. The removal design achieves "
+               "this with a fraction of the ordering design's VCs.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment E8 — simulation validation of the paper's premise.
+//
+// For every benchmark at several switch counts: if the synthesized
+// design's CDG has a cycle, stress it in the flit-level wormhole
+// simulator and record whether it actually freezes; then apply the
+// removal algorithm and show the identical workload completes. Designs
+// whose CDG is acyclic must never deadlock.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+namespace {
+
+SimConfig StressConfig() {
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kFixedCount;
+  cfg.traffic.packets_per_flow = 3;
+  cfg.traffic.packet_length = 10;
+  cfg.buffer_depth = 2;
+  cfg.max_cycles = 300000;
+  cfg.stall_threshold = 2500;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E8: wormhole-simulation validation (stress traffic) "
+               "===\n\n";
+  TextTable table;
+  table.SetHeader({"design", "CDG cyclic", "untreated sim", "after removal",
+                   "+VCs"});
+  int cyclic_designs = 0, cyclic_froze = 0;
+  int acyclic_designs = 0, acyclic_froze = 0;
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    for (std::size_t switches : {10u, 14u, 18u}) {
+      auto design = SynthesizeDesign(b.traffic, b.name, switches);
+      const bool cyclic = !IsDeadlockFree(design);
+      const auto before = SimulateWorkload(design, StressConfig());
+      auto treated = design;
+      const auto report = RemoveDeadlocks(treated);
+      const auto after = SimulateWorkload(treated, StressConfig());
+
+      table.AddRow(
+          {design.name, cyclic ? "yes" : "no",
+           before.deadlocked
+               ? "DEADLOCK"
+               : (before.AllDelivered() ? "completed" : "timeout"),
+           after.deadlocked
+               ? "DEADLOCK (bug!)"
+               : (after.AllDelivered() ? "completed" : "timeout"),
+           std::to_string(report.vcs_added)});
+      if (cyclic) {
+        ++cyclic_designs;
+        cyclic_froze += before.deadlocked ? 1 : 0;
+      } else {
+        ++acyclic_designs;
+        acyclic_froze += before.deadlocked ? 1 : 0;
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nSummary:\n";
+  std::cout << "  cyclic-CDG designs that froze under stress: "
+            << cyclic_froze << "/" << cyclic_designs
+            << " (cycles are necessary, not sufficient)\n";
+  std::cout << "  acyclic-CDG designs that froze:             "
+            << acyclic_froze << "/" << acyclic_designs
+            << " (must be 0 — Dally/Towles guarantee)\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiments E5 + E6 — the paper's Section 5 aggregate claims:
+//   * E5: vs. resource ordering, the removal algorithm reduces extra
+//     resources by ~88%, NoC area by ~66% and power by ~8.6% on average;
+//   * E6: vs. a design with no deadlock handling at all, the removal
+//     algorithm costs < 5% area and power.
+// All numbers at 14 switches, as in the paper's power/area comparison.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+int main() {
+  std::cout << "=== E5/E6: aggregate resource, area and power claims "
+               "(all benchmarks @ 14 switches) ===\n\n";
+
+  TextTable table;
+  table.SetHeader({"benchmark", "VCs rem", "VCs ord", "VC red.",
+                   "area red.", "power red.", "area ovh vs none",
+                   "power ovh vs none"});
+  double vc_red_sum = 0, area_red_sum = 0, power_red_sum = 0;
+  double area_ovh_sum = 0, power_ovh_sum = 0;
+  int points = 0;
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    const auto p = bench::Compare(b.traffic, b.name, 14);
+
+    const double vc_red =
+        p.ordering.vcs_added == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(p.removal.vcs_added) /
+                                 static_cast<double>(p.ordering.vcs_added));
+    const double area_red =
+        100.0 * (1.0 - p.removal.area_um2 / p.ordering.area_um2);
+    const double power_red =
+        100.0 * (1.0 - p.removal.power_mw / p.ordering.power_mw);
+    const double area_ovh =
+        100.0 * (p.removal.area_um2 / p.untreated.area_um2 - 1.0);
+    const double power_ovh =
+        100.0 * (p.removal.power_mw / p.untreated.power_mw - 1.0);
+
+    table.AddRow({b.name, std::to_string(p.removal.vcs_added),
+                  std::to_string(p.ordering.vcs_added),
+                  FormatDouble(vc_red, 1) + "%",
+                  FormatDouble(area_red, 1) + "%",
+                  FormatDouble(power_red, 1) + "%",
+                  FormatDouble(area_ovh, 2) + "%",
+                  FormatDouble(power_ovh, 2) + "%"});
+    vc_red_sum += vc_red;
+    area_red_sum += area_red;
+    power_red_sum += power_red;
+    area_ovh_sum += area_ovh;
+    power_ovh_sum += power_ovh;
+    ++points;
+  }
+  table.Print(std::cout);
+
+  const double n = points;
+  std::cout << "\nAverages across the suite:\n";
+  std::cout << "  [E5] VC reduction vs ordering:    "
+            << FormatDouble(vc_red_sum / n, 1) << "%   (paper: 88%)\n";
+  std::cout << "  [E5] area reduction vs ordering:  "
+            << FormatDouble(area_red_sum / n, 1) << "%   (paper: 66%)\n";
+  std::cout << "  [E5] power reduction vs ordering: "
+            << FormatDouble(power_red_sum / n, 1) << "%   (paper: 8.6%)\n";
+  std::cout << "  [E6] area overhead vs untreated:  "
+            << FormatDouble(area_ovh_sum / n, 2) << "%   (paper: <5%)\n";
+  std::cout << "  [E6] power overhead vs untreated: "
+            << FormatDouble(power_ovh_sum / n, 2) << "%   (paper: <5%)\n";
+  return 0;
+}

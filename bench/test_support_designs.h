@@ -1,0 +1,76 @@
+// Deadlock-prone design corpus shared by the ablation harnesses.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noc/design.h"
+#include "soc/benchmarks.h"
+#include "synth/synthesizer.h"
+#include "util/rng.h"
+
+namespace nocdr::bench {
+
+/// A named design factory (factories, so each ablation arm gets a fresh
+/// copy to mutate).
+using DesignFactory = std::function<NocDesign()>;
+
+/// Unidirectional ring with flows spanning `span` hops — always cyclic.
+inline NocDesign MakeRing(std::size_t n, std::size_t span) {
+  NocDesign d;
+  d.name = "ring" + std::to_string(n) + "x" + std::to_string(span);
+  std::vector<SwitchId> sw;
+  for (std::size_t i = 0; i < n; ++i) {
+    sw.push_back(d.topology.AddSwitch());
+  }
+  std::vector<ChannelId> ring;
+  for (std::size_t i = 0; i < n; ++i) {
+    ring.push_back(*d.topology.FindChannel(
+        d.topology.AddLink(sw[i], sw[(i + 1) % n]), 0));
+  }
+  std::vector<CoreId> cores;
+  for (std::size_t i = 0; i < n; ++i) {
+    cores.push_back(d.traffic.AddCore());
+    d.attachment.push_back(sw[i]);
+  }
+  d.routes.Resize(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.traffic.AddFlow(cores[i], cores[(i + span) % n], 60.0);
+  }
+  d.routes.Resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Route r;
+    for (std::size_t h = 0; h < span; ++h) {
+      r.push_back(ring[(i + h) % n]);
+    }
+    d.routes.SetRoute(FlowId(i), r);
+  }
+  d.Validate();
+  return d;
+}
+
+/// The corpus: rings of several shapes plus the synthesized dense-traffic
+/// designs that exhibit CDG cycles.
+inline std::vector<std::pair<std::string, DesignFactory>>
+DeadlockProneDesigns() {
+  std::vector<std::pair<std::string, DesignFactory>> corpus;
+  for (auto [n, span] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {4, 2}, {6, 2}, {6, 3}, {8, 3}, {10, 4}, {12, 5}}) {
+    corpus.emplace_back(
+        "ring" + std::to_string(n) + "x" + std::to_string(span),
+        [n = n, span = span] { return MakeRing(n, span); });
+  }
+  for (std::size_t switches : {12u, 16u, 20u}) {
+    corpus.emplace_back(
+        "D36_8@" + std::to_string(switches),
+        [switches] {
+          const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+          return SynthesizeDesign(b.traffic, b.name, switches);
+        });
+  }
+  return corpus;
+}
+
+}  // namespace nocdr::bench

@@ -1,0 +1,126 @@
+// Example: deadlock removal on a hand-built irregular topology.
+//
+// The paper's method applies to *any* topology and routing function.
+// This example builds an asymmetric topology a designer might draw by
+// hand — two rings sharing a bridge switch, with a few dedicated links —
+// assigns explicit routes, and shows how the removal algorithm treats a
+// structure no regular-topology routing rule covers.
+//
+//   $ ./examples/custom_topology
+#include <iostream>
+
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "noc/design.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+namespace {
+
+/// Two unidirectional rings (A: 0-1-2, B: 3-4-5) bridged through switch
+/// 6, plus express links. Flows cross between the rings via the bridge.
+NocDesign BuildDualRingSoc() {
+  NocDesign d;
+  d.name = "dual_ring_bridge";
+  TopologyGraph& t = d.topology;
+  std::vector<SwitchId> sw;
+  for (int i = 0; i < 7; ++i) {
+    sw.push_back(t.AddSwitch("SW" + std::to_string(i)));
+  }
+  auto ch = [&](SwitchId a, SwitchId b) {
+    return *t.FindChannel(t.AddLink(a, b), 0);
+  };
+  // Ring A and ring B.
+  const ChannelId a01 = ch(sw[0], sw[1]);
+  const ChannelId a12 = ch(sw[1], sw[2]);
+  const ChannelId a20 = ch(sw[2], sw[0]);
+  const ChannelId b34 = ch(sw[3], sw[4]);
+  const ChannelId b45 = ch(sw[4], sw[5]);
+  const ChannelId b53 = ch(sw[5], sw[3]);
+  // Bridge in/out of each ring.
+  const ChannelId a2x = ch(sw[2], sw[6]);
+  const ChannelId x3 = ch(sw[6], sw[3]);
+  const ChannelId b5x = ch(sw[5], sw[6]);
+  const ChannelId x0 = ch(sw[6], sw[0]);
+
+  // Cores: one per ring switch.
+  std::vector<CoreId> cores;
+  for (int i = 0; i < 6; ++i) {
+    cores.push_back(d.traffic.AddCore("ip" + std::to_string(i)));
+    d.attachment.push_back(sw[i]);
+  }
+
+  struct Spec {
+    int src, dst;
+    Route route;
+  };
+  const std::vector<Spec> specs = {
+      // Intra-ring traffic that closes each ring's CDG cycle.
+      {0, 2, {a01, a12}},
+      {1, 0, {a12, a20}},
+      {2, 1, {a20, a01}},
+      {3, 5, {b34, b45}},
+      {4, 3, {b45, b53}},
+      {5, 4, {b53, b34}},
+      // Cross-ring traffic through the bridge.
+      {1, 3, {a12, a2x, x3}},
+      {4, 0, {b45, b5x, x0}},
+      {2, 4, {a2x, x3, b34}},
+  };
+  d.routes.Resize(0);
+  std::vector<Route> routes;
+  for (const Spec& s : specs) {
+    d.traffic.AddFlow(cores[s.src], cores[s.dst], 80.0);
+    routes.push_back(s.route);
+  }
+  d.routes.Resize(d.traffic.FlowCount());
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    d.routes.SetRoute(FlowId(i), routes[i]);
+  }
+  d.Validate();
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Custom irregular topology: dual rings + bridge ==\n\n";
+  NocDesign removal_design = BuildDualRingSoc();
+  NocDesign ordering_design = removal_design;
+
+  const auto cdg = ChannelDependencyGraph::Build(removal_design);
+  std::cout << "Channels: " << cdg.VertexCount()
+            << ", dependencies: " << cdg.EdgeCount() << "\n";
+  auto cycle = SmallestCycle(cdg);
+  std::size_t cycles_seen = 0;
+  std::cout << "Smallest cycle length: "
+            << (cycle ? std::to_string(cycle->size()) : "none") << "\n\n";
+
+  const auto report = RemoveDeadlocks(removal_design);
+  cycles_seen = report.iterations;
+  const auto ordering = ApplyResourceOrdering(ordering_design);
+
+  TextTable table;
+  table.SetHeader({"method", "extra VCs", "cycles broken", "deadlock-free"});
+  table.AddRow({"removal algorithm", std::to_string(report.vcs_added),
+                std::to_string(cycles_seen),
+                IsDeadlockFree(removal_design) ? "yes" : "no"});
+  table.AddRow({"resource ordering", std::to_string(ordering.vcs_added),
+                "-", IsDeadlockFree(ordering_design) ? "yes" : "no"});
+  table.Print(std::cout);
+
+  std::cout << "\nPer-iteration breaks (removal algorithm):\n";
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const auto& s = report.steps[i];
+    std::cout << "  #" << i + 1 << ": cycle of " << s.cycle_length
+              << ", broke edge " << s.edge_pos << " "
+              << (s.direction == BreakDirection::kForward ? "forward"
+                                                          : "backward")
+              << ", +" << s.vcs_added << " VC(s), re-routed "
+              << s.flows_rerouted << " flow(s)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Example: full flow on a realistic SoC — the D26_media benchmark.
+//
+// Synthesizes application-specific topologies for a sweep of switch
+// counts, removes deadlocks with both the paper's algorithm and the
+// resource-ordering baseline, and reports VC overhead, area and power
+// side by side.
+//
+//   $ ./examples/media_soc
+#include <iostream>
+
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "power/model.h"
+#include "power/report.h"
+#include "soc/benchmarks.h"
+#include "synth/synthesizer.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+int main() {
+  const auto benchmark = MakeBenchmark(SocBenchmarkId::kD26Media);
+  std::cout << "== D26_media: synthesize, remove deadlocks, estimate "
+               "power/area ==\n\n";
+  std::cout << "Cores: " << benchmark.traffic.CoreCount()
+            << ", flows: " << benchmark.traffic.FlowCount()
+            << ", total bandwidth: " << benchmark.traffic.TotalBandwidth()
+            << " MB/s\n\n";
+
+  TextTable table;
+  table.SetHeader({"switches", "links", "removal VCs", "ordering VCs",
+                   "removal area (mm^2)", "ordering area (mm^2)",
+                   "removal power (mW)", "ordering power (mW)"});
+
+  for (std::size_t switches : {6u, 10u, 14u, 18u, 22u}) {
+    const auto base = SynthesizeDesign(benchmark.traffic, benchmark.name,
+                                       switches);
+    auto removal_design = base;
+    auto ordering_design = base;
+    const auto removal = RemoveDeadlocks(removal_design);
+    const auto ordering = ApplyResourceOrdering(ordering_design);
+
+    const auto pa_removal = EstimatePowerArea(removal_design);
+    const auto pa_ordering = EstimatePowerArea(ordering_design);
+    table.AddRow({std::to_string(switches),
+                  std::to_string(base.topology.LinkCount()),
+                  std::to_string(removal.vcs_added),
+                  std::to_string(ordering.vcs_added),
+                  FormatDouble(pa_removal.switch_area_um2 / 1e6, 3),
+                  FormatDouble(pa_ordering.switch_area_um2 / 1e6, 3),
+                  FormatDouble(pa_removal.TotalPowerMw(), 1),
+                  FormatDouble(pa_ordering.TotalPowerMw(), 1)});
+  }
+  table.Print(std::cout);
+
+  // Detailed breakdown at the paper's 14-switch comparison point.
+  std::cout << "\nPower decomposition @ 14 switches:\n";
+  const auto base14 = SynthesizeDesign(benchmark.traffic, benchmark.name, 14);
+  auto removal14 = base14;
+  auto ordering14 = base14;
+  RemoveDeadlocks(removal14);
+  ApplyResourceOrdering(ordering14);
+  PrintPowerComparison(std::cout, "removal", EstimatePowerArea(removal14),
+                       "ordering", EstimatePowerArea(ordering14));
+
+  std::cout << "\nBoth designs are deadlock-free; the removal algorithm "
+               "adds VCs only where a CDG cycle demands it, while\n"
+               "resource ordering pays one channel class per hop "
+               "position on every shared link.\n";
+  return 0;
+}

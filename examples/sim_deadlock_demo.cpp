@@ -1,0 +1,105 @@
+// Example: watch a wormhole network deadlock — then watch the fix.
+//
+// Runs the flit-level simulator on a deadlock-prone ring under
+// aggressive traffic: the untreated design freezes with a circular wait
+// (the simulator prints the culprit channels); after RemoveDeadlocks the
+// identical workload runs to completion.
+//
+//   $ ./examples/sim_deadlock_demo
+#include <iostream>
+
+#include "deadlock/removal.h"
+#include "noc/design.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+namespace {
+
+/// 6-switch unidirectional ring; each core sends 2 hops ahead.
+NocDesign BuildRing() {
+  NocDesign d;
+  d.name = "ring6";
+  std::vector<SwitchId> sw;
+  for (int i = 0; i < 6; ++i) {
+    sw.push_back(d.topology.AddSwitch());
+  }
+  std::vector<ChannelId> ring;
+  for (int i = 0; i < 6; ++i) {
+    ring.push_back(
+        *d.topology.FindChannel(d.topology.AddLink(sw[i], sw[(i + 1) % 6]), 0));
+  }
+  std::vector<CoreId> cores;
+  for (int i = 0; i < 6; ++i) {
+    cores.push_back(d.traffic.AddCore());
+    d.attachment.push_back(sw[i]);
+  }
+  d.routes.Resize(0);
+  for (int i = 0; i < 6; ++i) {
+    d.traffic.AddFlow(cores[i], cores[(i + 2) % 6], 100.0);
+  }
+  d.routes.Resize(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    d.routes.SetRoute(FlowId(i), {ring[i], ring[(i + 1) % 6]});
+  }
+  d.Validate();
+  return d;
+}
+
+void Report(const std::string& label, const NocDesign& design,
+            const SimResult& r) {
+  std::cout << label << ":\n";
+  std::cout << "  cycles simulated:  " << r.cycles << "\n";
+  std::cout << "  packets delivered: " << r.packets_delivered << " / "
+            << r.packets_offered << "\n";
+  std::cout << "  deadlocked:        " << (r.deadlocked ? "YES" : "no")
+            << "\n";
+  if (r.deadlocked) {
+    std::cout << "  stuck flits:       " << r.stuck_flits << "\n";
+    std::cout << "  circular wait:    ";
+    for (ChannelId c : r.deadlock_cycle) {
+      std::cout << " " << design.topology.ChannelLabel(c);
+    }
+    std::cout << "\n";
+  } else {
+    std::cout << "  avg latency:       " << FormatDouble(r.avg_packet_latency, 1)
+              << " cycles (max " << r.max_packet_latency << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Wormhole deadlock, live ==\n\n";
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kFixedCount;
+  cfg.traffic.packets_per_flow = 6;
+  cfg.traffic.packet_length = 10;  // worms longer than the buffering
+  cfg.buffer_depth = 2;
+  cfg.max_cycles = 100000;
+  cfg.stall_threshold = 1000;
+
+  NocDesign design = BuildRing();
+  std::cout << "Workload: " << design.traffic.FlowCount()
+            << " flows x " << cfg.traffic.packets_per_flow << " packets x "
+            << cfg.traffic.packet_length << " flits, buffers of "
+            << cfg.buffer_depth << " flits\n\n";
+
+  const auto before = SimulateWorkload(design, cfg);
+  Report("Untreated ring", design, before);
+
+  const auto report = RemoveDeadlocks(design);
+  std::cout << "RemoveDeadlocks: " << Summarize(report) << "\n\n";
+
+  const auto after = SimulateWorkload(design, cfg);
+  Report("After deadlock removal", design, after);
+
+  std::cout << (after.AllDelivered() && !after.deadlocked
+                    ? "Same workload, same topology plus "
+                      + std::to_string(report.vcs_added)
+                      + " VC(s): completes.\n"
+                    : "Unexpected: workload did not complete.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "cdg/cdg.h"
+
+#include "util/error.h"
+
+namespace nocdr {
+
+ChannelDependencyGraph ChannelDependencyGraph::Build(const NocDesign& design) {
+  ChannelDependencyGraph g;
+  g.out_edges_.resize(design.topology.ChannelCount());
+  for (std::size_t i = 0; i < design.traffic.FlowCount(); ++i) {
+    FlowId f(i);
+    const Route& route = design.routes.RouteOf(f);
+    for (std::size_t h = 0; h + 1 < route.size(); ++h) {
+      const ChannelId from = route[h];
+      const ChannelId to = route[h + 1];
+      const std::uint64_t key = Key(from, to);
+      auto it = g.edge_index_.find(key);
+      if (it == g.edge_index_.end()) {
+        const std::size_t index = g.edges_.size();
+        g.edges_.push_back(CdgEdge{from, to, {f}});
+        g.out_edges_[from.value()].push_back(index);
+        g.edge_index_.emplace(key, index);
+      } else {
+        g.edges_[it->second].flows.push_back(f);
+      }
+    }
+  }
+  return g;
+}
+
+const CdgEdge& ChannelDependencyGraph::EdgeAt(std::size_t index) const {
+  Require(index < edges_.size(), "EdgeAt: edge index out of range");
+  return edges_[index];
+}
+
+const std::vector<std::size_t>& ChannelDependencyGraph::OutEdges(
+    ChannelId c) const {
+  Require(c.valid() && c.value() < out_edges_.size(),
+          "OutEdges: channel is not a CDG vertex");
+  return out_edges_[c.value()];
+}
+
+std::optional<std::size_t> ChannelDependencyGraph::FindEdge(
+    ChannelId from, ChannelId to) const {
+  auto it = edge_index_.find(Key(from, to));
+  if (it == edge_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<ChannelId> ChannelDependencyGraph::Successors(ChannelId c) const {
+  std::vector<ChannelId> result;
+  for (std::size_t e : OutEdges(c)) {
+    result.push_back(edges_[e].to);
+  }
+  return result;
+}
+
+}  // namespace nocdr

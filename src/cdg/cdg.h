@@ -1,0 +1,69 @@
+// Channel Dependency Graph (Definition 4).
+//
+// Vertices are the channels of the topology; a directed edge (ci, cj)
+// exists when at least one flow's route uses channel ci immediately
+// followed by channel cj. Each edge remembers the set of flows that create
+// it — the deadlock-removal cost computation needs to know, per cycle
+// edge, which flows must be re-routed to delete that edge.
+//
+// Dally & Towles: with static (deterministic) routing, the network is
+// deadlock-free iff this graph is acyclic. The removal algorithm therefore
+// works exclusively on this graph and maps its operations back to the
+// topology (duplicate vertex = add VC) and the routes (edge removal =
+// re-route the flows that created it).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/design.h"
+#include "util/ids.h"
+
+namespace nocdr {
+
+/// One dependency edge of the CDG.
+struct CdgEdge {
+  ChannelId from;
+  ChannelId to;
+  /// Flows whose route contains the consecutive pair (from, to).
+  std::vector<FlowId> flows;
+};
+
+/// The channel dependency graph of one NoC design.
+class ChannelDependencyGraph {
+ public:
+  /// Builds the CDG of \p design from its routes. The design is not
+  /// retained; the graph is a snapshot.
+  static ChannelDependencyGraph Build(const NocDesign& design);
+
+  /// Number of vertices (= channels of the topology at build time).
+  [[nodiscard]] std::size_t VertexCount() const { return out_edges_.size(); }
+
+  [[nodiscard]] std::size_t EdgeCount() const { return edges_.size(); }
+
+  [[nodiscard]] const CdgEdge& EdgeAt(std::size_t index) const;
+
+  /// Indices into edges() of the edges leaving \p c.
+  [[nodiscard]] const std::vector<std::size_t>& OutEdges(ChannelId c) const;
+
+  /// Index of edge (from, to) if present.
+  [[nodiscard]] std::optional<std::size_t> FindEdge(ChannelId from,
+                                                    ChannelId to) const;
+
+  /// Successor channels of \p c (one per out-edge).
+  [[nodiscard]] std::vector<ChannelId> Successors(ChannelId c) const;
+
+  [[nodiscard]] const std::vector<CdgEdge>& Edges() const { return edges_; }
+
+ private:
+  std::vector<CdgEdge> edges_;
+  std::vector<std::vector<std::size_t>> out_edges_;  // per channel
+  std::unordered_map<std::uint64_t, std::size_t> edge_index_;
+
+  static std::uint64_t Key(ChannelId from, ChannelId to) {
+    return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+  }
+};
+
+}  // namespace nocdr

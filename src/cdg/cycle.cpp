@@ -1,0 +1,126 @@
+#include "cdg/cycle.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace nocdr {
+
+bool IsAcyclic(const ChannelDependencyGraph& graph) {
+  const std::size_t n = graph.VertexCount();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (const CdgEdge& e : graph.Edges()) {
+    ++in_degree[e.to.value()];
+  }
+  std::deque<ChannelId> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) {
+      ready.emplace_back(ChannelId(v));
+    }
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    const ChannelId v = ready.front();
+    ready.pop_front();
+    ++removed;
+    for (std::size_t e : graph.OutEdges(v)) {
+      const ChannelId w = graph.EdgeAt(e).to;
+      if (--in_degree[w.value()] == 0) {
+        ready.push_back(w);
+      }
+    }
+  }
+  return removed == n;
+}
+
+std::optional<CdgCycle> ShortestCycleThrough(
+    const ChannelDependencyGraph& graph, ChannelId start) {
+  // BFS over successors; the first time we re-reach `start` we have the
+  // shortest closed walk through it. Parent pointers reconstruct the path.
+  const std::size_t n = graph.VertexCount();
+  constexpr std::uint32_t kUnset = ChannelId::kInvalid;
+  std::vector<std::uint32_t> parent(n, kUnset);
+  std::deque<ChannelId> queue;
+
+  // Seed with the successors of `start` (a closed walk must leave first).
+  for (std::size_t e : graph.OutEdges(start)) {
+    const ChannelId w = graph.EdgeAt(e).to;
+    if (w == start) {
+      // Self-loop (a route repeating a channel); degenerate 1-cycle.
+      return CdgCycle{start};
+    }
+    if (parent[w.value()] == kUnset) {
+      parent[w.value()] = start.value();
+      queue.push_back(w);
+    }
+  }
+  while (!queue.empty()) {
+    const ChannelId v = queue.front();
+    queue.pop_front();
+    for (std::size_t e : graph.OutEdges(v)) {
+      const ChannelId w = graph.EdgeAt(e).to;
+      if (w == start) {
+        CdgCycle cycle;
+        for (ChannelId cur = v; cur != start;
+             cur = ChannelId(parent[cur.value()])) {
+          cycle.push_back(cur);
+        }
+        cycle.push_back(start);
+        std::reverse(cycle.begin(), cycle.end());
+        return cycle;
+      }
+      if (parent[w.value()] == kUnset) {
+        parent[w.value()] = v.value();
+        queue.push_back(w);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+template <typename Better>
+std::optional<CdgCycle> SelectCycle(const ChannelDependencyGraph& graph,
+                                    Better better) {
+  std::optional<CdgCycle> best;
+  for (std::size_t v = 0; v < graph.VertexCount(); ++v) {
+    if (graph.OutEdges(ChannelId(v)).empty()) {
+      continue;
+    }
+    auto cycle = ShortestCycleThrough(graph, ChannelId(v));
+    if (cycle && (!best || better(*cycle, *best))) {
+      best = std::move(cycle);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<CdgCycle> SmallestCycle(const ChannelDependencyGraph& graph) {
+  return SelectCycle(graph, [](const CdgCycle& a, const CdgCycle& b) {
+    return a.size() < b.size();
+  });
+}
+
+std::optional<CdgCycle> FirstCycle(const ChannelDependencyGraph& graph) {
+  for (std::size_t v = 0; v < graph.VertexCount(); ++v) {
+    if (graph.OutEdges(ChannelId(v)).empty()) {
+      continue;
+    }
+    auto cycle = ShortestCycleThrough(graph, ChannelId(v));
+    if (cycle) {
+      return cycle;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CdgCycle> LargestShortestCycle(
+    const ChannelDependencyGraph& graph) {
+  return SelectCycle(graph, [](const CdgCycle& a, const CdgCycle& b) {
+    return a.size() > b.size();
+  });
+}
+
+}  // namespace nocdr

@@ -1,0 +1,46 @@
+// Cycle detection on the channel dependency graph.
+//
+// The paper finds the *smallest* cycle by running a breadth-first search
+// from every vertex: the shortest closed walk through a vertex v is the
+// shortest path from any successor of v back to v, plus the closing edge.
+// Breaking small cycles first is the paper's heuristic — a short cycle
+// often shares edges with longer ones, so removing it can kill several
+// cycles at once and it is also the cheapest to reason about.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cdg/cdg.h"
+#include "util/ids.h"
+
+namespace nocdr {
+
+/// A cycle as an ordered vertex sequence c0, c1, ..., c_{m-1}; the edges
+/// are (c_i, c_{i+1}) for i < m-1 plus the closing edge (c_{m-1}, c0).
+using CdgCycle = std::vector<ChannelId>;
+
+/// True iff the graph has no directed cycle (Kahn's algorithm); by
+/// Dally/Towles this is exactly the deadlock-freedom condition.
+bool IsAcyclic(const ChannelDependencyGraph& graph);
+
+/// Shortest cycle through \p start (BFS), if any. Ties broken by BFS
+/// discovery order, which is deterministic.
+std::optional<CdgCycle> ShortestCycleThrough(
+    const ChannelDependencyGraph& graph, ChannelId start);
+
+/// The globally smallest cycle (the paper's GetSmallestCycle): BFS from
+/// every vertex, keep the shortest result; ties broken by lowest starting
+/// channel id. Returns nullopt when the graph is acyclic.
+std::optional<CdgCycle> SmallestCycle(const ChannelDependencyGraph& graph);
+
+/// The first cycle found in vertex order, not necessarily smallest;
+/// used by the cycle-selection ablation.
+std::optional<CdgCycle> FirstCycle(const ChannelDependencyGraph& graph);
+
+/// The largest of the per-vertex shortest cycles; used by the ablation
+/// (note this is *not* the global longest cycle, which is NP-hard).
+std::optional<CdgCycle> LargestShortestCycle(
+    const ChannelDependencyGraph& graph);
+
+}  // namespace nocdr

@@ -1,0 +1,82 @@
+#include "deadlock/breaker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+BreakResult BreakCycle(NocDesign& design, const CdgCycle& cycle,
+                       std::size_t edge_pos, BreakDirection direction,
+                       DuplicationMode mode) {
+  Require(!cycle.empty(), "BreakCycle: empty cycle");
+  Require(edge_pos < cycle.size(), "BreakCycle: edge position out of range");
+  const std::size_t m = cycle.size();
+  const ChannelId edge_from = cycle[edge_pos];
+  const ChannelId edge_to = cycle[(edge_pos + 1) % m];
+
+  std::unordered_set<ChannelId> in_cycle(cycle.begin(), cycle.end());
+
+  // Shared duplicate map: original cycle channel -> its new VC. Created
+  // lazily so we only add the channels some re-routed flow actually needs.
+  std::unordered_map<ChannelId, ChannelId> duplicate;
+  BreakResult result;
+  auto duplicate_of = [&](ChannelId original) {
+    auto it = duplicate.find(original);
+    if (it != duplicate.end()) {
+      return it->second;
+    }
+    const LinkId link = design.topology.ChannelAt(original).link;
+    ChannelId fresh;
+    if (mode == DuplicationMode::kVirtualChannel) {
+      fresh = design.topology.AddVirtualChannel(link);
+    } else {
+      // No VC support: open a parallel physical link between the same
+      // switches and use its implicit channel.
+      const Link& phys = design.topology.LinkAt(link);
+      const LinkId twin = design.topology.AddLink(phys.src, phys.dst);
+      fresh = design.topology.ChannelsOf(twin).front();
+    }
+    duplicate.emplace(original, fresh);
+    result.added_channels.push_back(fresh);
+    return fresh;
+  };
+
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    const FlowId f(fi);
+    Route& route = design.routes.MutableRouteOf(f);
+    // Routes never repeat a channel (validated on construction), so the
+    // broken pair occurs at most once per route.
+    std::size_t pair_at = route.size();
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      if (route[i] == edge_from && route[i + 1] == edge_to) {
+        pair_at = i;
+        break;
+      }
+    }
+    if (pair_at == route.size()) {
+      continue;  // this flow does not create the broken dependency
+    }
+    if (direction == BreakDirection::kForward) {
+      for (std::size_t j = 0; j <= pair_at; ++j) {
+        if (in_cycle.contains(route[j])) {
+          route[j] = duplicate_of(route[j]);
+        }
+      }
+    } else {
+      for (std::size_t j = pair_at + 1; j < route.size(); ++j) {
+        if (in_cycle.contains(route[j])) {
+          route[j] = duplicate_of(route[j]);
+        }
+      }
+    }
+    result.rerouted_flows.push_back(f);
+  }
+
+  Require(!result.rerouted_flows.empty(),
+          "BreakCycle: no flow creates the selected edge");
+  return result;
+}
+
+}  // namespace nocdr

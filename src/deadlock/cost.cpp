@@ -1,0 +1,115 @@
+#include "deadlock/cost.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+/// Maps each cycle vertex to its index within the cycle.
+std::unordered_map<ChannelId, std::size_t> CyclePositions(
+    const CdgCycle& cycle) {
+  std::unordered_map<ChannelId, std::size_t> pos;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    Require(pos.emplace(cycle[i], i).second,
+            "cycle repeats a vertex; not a simple cycle");
+  }
+  return pos;
+}
+
+}  // namespace
+
+CycleCostTable ComputeCycleCostTable(const NocDesign& design,
+                                     const CdgCycle& cycle,
+                                     BreakDirection direction) {
+  Require(!cycle.empty(), "ComputeCycleCostTable: empty cycle");
+  const std::size_t m = cycle.size();
+  const auto pos = CyclePositions(cycle);
+
+  CycleCostTable table;
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    const FlowId f(fi);
+    const Route& route = design.routes.RouteOf(f);
+
+    // Count of cycle vertices along the walk (the paper's `val`), walked
+    // source->destination for forward breaks and destination->source for
+    // backward breaks.
+    std::vector<std::size_t> val_at(route.size(), 0);
+    std::size_t val = 0;
+    if (direction == BreakDirection::kForward) {
+      for (std::size_t i = 0; i < route.size(); ++i) {
+        if (pos.contains(route[i])) {
+          val_at[i] = ++val;
+        }
+      }
+    } else {
+      for (std::size_t i = route.size(); i-- > 0;) {
+        if (pos.contains(route[i])) {
+          val_at[i] = ++val;
+        }
+      }
+    }
+    if (val < 2) {
+      // |path ∩ C| <= 1: the flow cannot create any dependency edge of
+      // the cycle (Algorithm 2, steps 3-7).
+      continue;
+    }
+
+    // Record the cost wherever the flow creates a dependency edge of the
+    // cycle, i.e. uses c_p immediately followed by c_{p+1 mod m}.
+    std::vector<std::size_t> row(m, 0);
+    bool creates_any = false;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      auto it = pos.find(route[i]);
+      if (it == pos.end()) {
+        continue;
+      }
+      const std::size_t p = it->second;
+      if (route[i + 1] != cycle[(p + 1) % m]) {
+        continue;
+      }
+      // Forward: duplicate every cycle channel used up to and including
+      // c_p. Backward: duplicate every cycle channel used from c_{p+1} on.
+      row[p] = direction == BreakDirection::kForward ? val_at[i]
+                                                     : val_at[i + 1];
+      creates_any = true;
+    }
+    if (creates_any) {
+      table.flows.push_back(f);
+      table.cost.push_back(std::move(row));
+    }
+  }
+
+  table.combined.assign(m, 0);
+  for (const auto& row : table.cost) {
+    for (std::size_t p = 0; p < m; ++p) {
+      table.combined[p] = std::max(table.combined[p], row[p]);
+    }
+  }
+  return table;
+}
+
+BreakCandidate FindDepToBreak(const NocDesign& design, const CdgCycle& cycle,
+                              BreakDirection direction) {
+  const CycleCostTable table =
+      ComputeCycleCostTable(design, cycle, direction);
+  BreakCandidate best;
+  best.direction = direction;
+  for (std::size_t p = 0; p < table.combined.size(); ++p) {
+    if (table.combined[p] == 0) {
+      continue;  // no flow creates this edge; cannot break here
+    }
+    if (table.combined[p] < best.cost) {
+      best.cost = table.combined[p];
+      best.edge_pos = p;
+    }
+  }
+  Require(best.cost != std::numeric_limits<std::size_t>::max(),
+          "FindDepToBreak: no breakable edge; cycle is not route-induced");
+  return best;
+}
+
+}  // namespace nocdr

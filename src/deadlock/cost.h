@@ -1,0 +1,70 @@
+// Cost computation for breaking a CDG cycle (Algorithm 2 of the paper).
+//
+// To delete one dependency edge of a cycle, every flow that creates that
+// edge must be re-routed onto freshly added channels (VCs), and — to avoid
+// merely shifting the cycle (Figure 7 of the paper) — the flow must be
+// moved onto duplicates of *all* cycle channels it used before the edge
+// (forward direction) or after it (backward direction). The cost of
+// breaking at a given edge is therefore the maximum, over the flows
+// creating it, of the number of cycle vertices that must be duplicated;
+// duplicates are shared between flows, which is why the combination rule
+// is max and not sum (Step 20 of Algorithm 2).
+//
+// The cost-table semantics follow the paper's worked example (Table 1):
+// a flow contributes a cost at cycle edge (c_p, c_{p+1}) only if its route
+// uses c_p immediately followed by c_{p+1}; the contributed value is the
+// number of cycle vertices the flow has traversed up to and including c_p
+// (forward) or from c_{p+1} to the end of its route (backward).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "cdg/cycle.h"
+#include "noc/design.h"
+#include "util/ids.h"
+
+namespace nocdr {
+
+/// Which side of the removed edge gets duplicated.
+enum class BreakDirection {
+  kForward,   // duplicate from the flow's cycle entry up to the edge
+  kBackward,  // duplicate from the edge to the flow's cycle exit
+};
+
+/// The per-flow/per-edge cost table of Algorithm 2, kept explicit so the
+/// worked-example reproduction (Table 1) and tests can inspect it.
+struct CycleCostTable {
+  /// Flows participating in the cycle, in FlowId order (the table rows).
+  std::vector<FlowId> flows;
+  /// cost[row][p]: duplication cost contributed by flows[row] at cycle
+  /// edge p = (c_p, c_{p+1 mod m}); 0 means the flow does not create the
+  /// dependency at p.
+  std::vector<std::vector<std::size_t>> cost;
+  /// Combined per-edge cost: max over rows (0 only if no flow creates
+  /// the edge, which cannot happen for a genuine CDG cycle).
+  std::vector<std::size_t> combined;
+};
+
+/// Result of FindDepToBreak: where to cut and what it costs.
+struct BreakCandidate {
+  std::size_t cost = std::numeric_limits<std::size_t>::max();
+  std::size_t edge_pos = 0;  // p: break edge (c_p, c_{p+1 mod m})
+  BreakDirection direction = BreakDirection::kForward;
+};
+
+/// Builds the full cost table for breaking \p cycle in \p direction
+/// (FindDepToBreakForward / ...Backward of the paper, with the table
+/// exposed). \p cycle must be a genuine cycle of the design's CDG.
+CycleCostTable ComputeCycleCostTable(const NocDesign& design,
+                                     const CdgCycle& cycle,
+                                     BreakDirection direction);
+
+/// The paper's FindDepToBreak{Forward,Backward}: minimum combined cost and
+/// its edge position (first minimum wins, deterministically).
+BreakCandidate FindDepToBreak(const NocDesign& design, const CdgCycle& cycle,
+                              BreakDirection direction);
+
+}  // namespace nocdr

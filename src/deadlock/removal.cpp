@@ -1,0 +1,104 @@
+#include "deadlock/removal.h"
+
+#include "cdg/cdg.h"
+#include "deadlock/breaker.h"
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+std::optional<CdgCycle> PickCycle(const ChannelDependencyGraph& cdg,
+                                  CyclePolicy policy) {
+  switch (policy) {
+    case CyclePolicy::kSmallestFirst:
+      return SmallestCycle(cdg);
+    case CyclePolicy::kFirstFound:
+      return FirstCycle(cdg);
+    case CyclePolicy::kLargestFirst:
+      return LargestShortestCycle(cdg);
+  }
+  return std::nullopt;
+}
+
+BreakCandidate PickBreak(const NocDesign& design, const CdgCycle& cycle,
+                         DirectionPolicy policy) {
+  switch (policy) {
+    case DirectionPolicy::kForwardOnly:
+      return FindDepToBreak(design, cycle, BreakDirection::kForward);
+    case DirectionPolicy::kBackwardOnly:
+      return FindDepToBreak(design, cycle, BreakDirection::kBackward);
+    case DirectionPolicy::kBoth:
+      break;
+  }
+  // Algorithm 1, steps 5-11: evaluate both directions, keep the cheaper;
+  // forward wins ties (the paper's `if f_cost <= b_cost`).
+  const BreakCandidate fwd =
+      FindDepToBreak(design, cycle, BreakDirection::kForward);
+  const BreakCandidate bwd =
+      FindDepToBreak(design, cycle, BreakDirection::kBackward);
+  return fwd.cost <= bwd.cost ? fwd : bwd;
+}
+
+}  // namespace
+
+RemovalReport RemoveDeadlocks(NocDesign& design,
+                              const RemovalOptions& options) {
+  RemovalReport report;
+  ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
+  std::optional<CdgCycle> cycle = PickCycle(cdg, options.cycle_policy);
+  report.initially_deadlock_free = !cycle.has_value();
+
+  while (cycle) {
+    if (report.iterations >= options.max_iterations) {
+      throw AlgorithmLimitError(
+          "RemoveDeadlocks: iteration cap exceeded (" +
+          std::to_string(options.max_iterations) + ")");
+    }
+    const BreakCandidate chosen =
+        PickBreak(design, *cycle, options.direction_policy);
+    const BreakResult applied =
+        BreakCycle(design, *cycle, chosen.edge_pos, chosen.direction,
+                   options.duplication);
+
+    // Sharing duplicates between flows must keep the realized VC count at
+    // the predicted cost; a mismatch means the cost table lied.
+    Require(applied.added_channels.size() == chosen.cost,
+            "RemoveDeadlocks: realized VC count differs from predicted "
+            "cost");
+    if (options.paranoid_validation) {
+      design.Validate();
+    }
+
+    RemovalStep step;
+    step.cycle_length = cycle->size();
+    step.direction = chosen.direction;
+    step.edge_pos = chosen.edge_pos;
+    step.cost = chosen.cost;
+    step.vcs_added = applied.added_channels.size();
+    step.flows_rerouted = applied.rerouted_flows.size();
+    report.steps.push_back(step);
+    report.vcs_added += step.vcs_added;
+    report.flows_rerouted += step.flows_rerouted;
+    ++report.iterations;
+
+    cdg = ChannelDependencyGraph::Build(design);
+    cycle = PickCycle(cdg, options.cycle_policy);
+  }
+  return report;
+}
+
+bool IsDeadlockFree(const NocDesign& design) {
+  return IsAcyclic(ChannelDependencyGraph::Build(design));
+}
+
+std::string Summarize(const RemovalReport& report) {
+  if (report.initially_deadlock_free) {
+    return "already deadlock-free; no VCs added";
+  }
+  return "broke " + std::to_string(report.iterations) + " cycle(s), added " +
+         std::to_string(report.vcs_added) + " VC(s), re-routed " +
+         std::to_string(report.flows_rerouted) + " flow traversal(s)";
+}
+
+}  // namespace nocdr

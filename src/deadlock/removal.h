@@ -1,0 +1,86 @@
+// The deadlock removal algorithm (Algorithm 1 of the paper).
+//
+// While the channel dependency graph of the design has a cycle: take the
+// smallest cycle, evaluate the cheapest way to break it in the forward and
+// in the backward direction (Algorithm 2), apply the cheaper break (VC
+// duplication + re-routing), and repeat on the updated design. Terminates
+// when the CDG is acyclic, i.e. the design is provably deadlock-free for
+// wormhole flow control with static routing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cdg/cycle.h"
+#include "deadlock/breaker.h"
+#include "deadlock/cost.h"
+#include "noc/design.h"
+
+namespace nocdr {
+
+/// Cycle-selection policy; the paper uses smallest-first, the others exist
+/// for the ablation study.
+enum class CyclePolicy {
+  kSmallestFirst,
+  kFirstFound,
+  kLargestFirst,
+};
+
+/// Which break directions the cost search may consider; the paper uses
+/// both, the restricted variants exist for the ablation study.
+enum class DirectionPolicy {
+  kBoth,
+  kForwardOnly,
+  kBackwardOnly,
+};
+
+/// Tuning knobs of the removal loop.
+struct RemovalOptions {
+  CyclePolicy cycle_policy = CyclePolicy::kSmallestFirst;
+  DirectionPolicy direction_policy = DirectionPolicy::kBoth;
+  /// Realize duplicates as extra VCs (default) or, for switch
+  /// architectures without VC support, as parallel physical links.
+  DuplicationMode duplication = DuplicationMode::kVirtualChannel;
+  /// Hard safety cap on loop iterations; the heuristic converges on every
+  /// input we have seen, but a cap turns a hypothetical livelock into an
+  /// AlgorithmLimitError instead of a hang.
+  std::size_t max_iterations = 100000;
+  /// Re-validate the whole design after every break (slow; for tests).
+  bool paranoid_validation = false;
+};
+
+/// One loop iteration, for reporting and debugging.
+struct RemovalStep {
+  std::size_t cycle_length = 0;
+  BreakDirection direction = BreakDirection::kForward;
+  std::size_t edge_pos = 0;
+  std::size_t cost = 0;
+  std::size_t vcs_added = 0;
+  std::size_t flows_rerouted = 0;
+};
+
+/// Summary of a removal run.
+struct RemovalReport {
+  /// True when the input CDG was already acyclic (no work needed) — the
+  /// common case for sparse application-specific designs (paper, Fig. 8).
+  bool initially_deadlock_free = false;
+  std::size_t iterations = 0;
+  std::size_t vcs_added = 0;
+  std::size_t flows_rerouted = 0;
+  std::vector<RemovalStep> steps;
+};
+
+/// Runs Algorithm 1 on \p design in place. On return the design's CDG is
+/// acyclic and the design still satisfies Validate(). Throws
+/// AlgorithmLimitError if options.max_iterations is exceeded.
+RemovalReport RemoveDeadlocks(NocDesign& design,
+                              const RemovalOptions& options = {});
+
+/// True iff the design's CDG is acyclic (Dally/Towles condition).
+bool IsDeadlockFree(const NocDesign& design);
+
+/// Human-readable one-line summary of a report.
+std::string Summarize(const RemovalReport& report);
+
+}  // namespace nocdr

@@ -1,0 +1,59 @@
+#include "deadlock/resource_ordering.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+ResourceOrderingReport ApplyResourceOrdering(NocDesign& design) {
+  ResourceOrderingReport report;
+  const std::size_t extra_before = design.topology.ExtraVcCount();
+
+  // Pass 1: collect, per link, the set of hop classes at which any flow
+  // crosses it.
+  std::vector<std::map<std::size_t, ChannelId>> class_channel(
+      design.topology.LinkCount());
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    const Route& route = design.routes.RouteOf(FlowId(fi));
+    for (std::size_t h = 0; h < route.size(); ++h) {
+      const LinkId link = design.topology.ChannelAt(route[h]).link;
+      class_channel[link.value()].emplace(h, ChannelId{});
+      report.max_class = std::max(report.max_class, h + 1);
+    }
+  }
+
+  // Pass 2: materialize channels in ascending class order per link, so
+  // the VC index equals the rank of the class on that link (VC 0 = the
+  // link's lowest class, reusing the implicit channel).
+  for (std::size_t li = 0; li < class_channel.size(); ++li) {
+    const LinkId link(li);
+    bool first = true;
+    for (auto& [h, channel] : class_channel[li]) {
+      if (first) {
+        auto vc0 = design.topology.FindChannel(link, 0);
+        Require(vc0.has_value(), "link lost its implicit channel");
+        channel = *vc0;
+        first = false;
+      } else {
+        channel = design.topology.AddVirtualChannel(link);
+      }
+    }
+  }
+
+  // Pass 3: re-route every flow onto the class-matched channels.
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    Route& route = design.routes.MutableRouteOf(FlowId(fi));
+    for (std::size_t h = 0; h < route.size(); ++h) {
+      const LinkId link = design.topology.ChannelAt(route[h]).link;
+      route[h] = class_channel[link.value()].at(h);
+    }
+  }
+
+  report.vcs_added = design.topology.ExtraVcCount() - extra_before;
+  report.total_channels = design.topology.ChannelCount();
+  return report;
+}
+
+}  // namespace nocdr

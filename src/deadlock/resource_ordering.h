@@ -1,0 +1,36 @@
+// Resource ordering baseline (Dally/Towles channel classes).
+//
+// The classic way to make wormhole routing deadlock-free on an arbitrary
+// topology: assign every channel an ordered resource class and require
+// each flow to acquire channels in strictly increasing class order. We use
+// the canonical distance-class scheme: the channel a flow uses at hop h of
+// its route belongs to class h. A physical link crossed by flows at k
+// distinct hop positions therefore needs k virtual channels — the number
+// of classes a flow needs grows with its route length, which is exactly
+// the overhead the paper's Figure 8/9 dotted lines show.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/design.h"
+
+namespace nocdr {
+
+/// Summary of a resource-ordering run.
+struct ResourceOrderingReport {
+  /// VCs added beyond one channel per link.
+  std::size_t vcs_added = 0;
+  /// Number of distinct (link, hop-class) channels in the final design.
+  std::size_t total_channels = 0;
+  /// Highest hop class used by any flow (= longest route length).
+  std::size_t max_class = 0;
+};
+
+/// Applies resource ordering in place: adds the VCs required so that every
+/// flow traverses strictly increasing channel classes, and re-routes every
+/// flow onto the class-matched channels. The resulting CDG is acyclic by
+/// construction (every dependency edge goes from class h to class h+1).
+ResourceOrderingReport ApplyResourceOrdering(NocDesign& design);
+
+}  // namespace nocdr

@@ -1,0 +1,118 @@
+#include "deadlock/updown.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace nocdr {
+
+namespace {
+
+constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+/// Spanning-tree bookkeeping per switch.
+struct TreeNode {
+  std::uint32_t parent = kNone;
+  std::uint32_t depth = 0;
+  LinkId up_link;    // this switch -> parent
+  LinkId down_link;  // parent -> this switch
+  bool reached = false;
+};
+
+}  // namespace
+
+UpDownReport ApplyUpDownRouting(NocDesign& design) {
+  const TopologyGraph& topo = design.topology;
+  const std::size_t n = topo.SwitchCount();
+  Require(n >= 1, "ApplyUpDownRouting: empty topology");
+
+  // Bidirectional degree decides the root: the best-connected switch
+  // keeps the tree shallow.
+  std::size_t best_degree = 0;
+  SwitchId root(0u);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::size_t degree = 0;
+    for (LinkId l : topo.OutLinks(SwitchId(s))) {
+      if (topo.FindLink(topo.LinkAt(l).dst, SwitchId(s))) {
+        ++degree;
+      }
+    }
+    if (degree > best_degree) {
+      best_degree = degree;
+      root = SwitchId(s);
+    }
+  }
+
+  // BFS tree over links whose reverse exists.
+  std::vector<TreeNode> tree(n);
+  tree[root.value()].reached = true;
+  std::deque<SwitchId> queue{root};
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (LinkId down : topo.OutLinks(cur)) {
+      const SwitchId child = topo.LinkAt(down).dst;
+      const auto up = topo.FindLink(child, cur);
+      if (!up || tree[child.value()].reached) {
+        continue;
+      }
+      TreeNode& node = tree[child.value()];
+      node.reached = true;
+      node.parent = cur.value();
+      node.depth = tree[cur.value()].depth + 1;
+      node.down_link = down;
+      node.up_link = *up;
+      queue.push_back(child);
+    }
+  }
+
+  UpDownReport report;
+  report.root = root;
+
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    const FlowId f(fi);
+    const Flow& flow = design.traffic.FlowAt(f);
+    report.hops_before += design.routes.RouteOf(f).size();
+    SwitchId src = design.SwitchOf(flow.src);
+    SwitchId dst = design.SwitchOf(flow.dst);
+    if (src == dst) {
+      design.routes.SetRoute(f, {});
+      continue;
+    }
+    if (!tree[src.value()].reached || !tree[dst.value()].reached) {
+      throw TurnProhibitionInfeasibleError(
+          "up*/down* infeasible: switch of flow " + std::to_string(fi) +
+          " is not connected by bidirectional links");
+    }
+    // Climb both endpoints to their lowest common ancestor, collecting
+    // up-hops from the source and down-hops (reversed) to the target.
+    Route up_part, down_part;
+    std::uint32_t a = src.value(), b = dst.value();
+    auto up_hop = [&](std::uint32_t s) {
+      up_part.push_back(*topo.FindChannel(tree[s].up_link, 0));
+      return tree[s].parent;
+    };
+    auto down_hop = [&](std::uint32_t s) {
+      down_part.push_back(*topo.FindChannel(tree[s].down_link, 0));
+      return tree[s].parent;
+    };
+    while (tree[a].depth > tree[b].depth) {
+      a = up_hop(a);
+    }
+    while (tree[b].depth > tree[a].depth) {
+      b = down_hop(b);
+    }
+    while (a != b) {
+      a = up_hop(a);
+      b = down_hop(b);
+    }
+    std::reverse(down_part.begin(), down_part.end());
+    up_part.insert(up_part.end(), down_part.begin(), down_part.end());
+    report.hops_after += up_part.size();
+    design.routes.SetRoute(f, std::move(up_part));
+  }
+
+  design.Validate();
+  return report;
+}
+
+}  // namespace nocdr

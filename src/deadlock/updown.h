@@ -1,0 +1,58 @@
+// Up*/down* (turn-prohibition) routing baseline.
+//
+// The related-work alternative the paper discusses ([17], [18]): instead
+// of adding resources, restrict the routing function. Up*/down* builds a
+// BFS spanning tree of the topology and requires every route to consist
+// of zero or more "up" hops (toward the root) followed by zero or more
+// "down" hops — prohibiting down->up turns, which provably leaves the
+// CDG acyclic with no extra VCs at all.
+//
+// The catch, and the reason the paper's method exists: up*/down* needs a
+// *bidirectional* link wherever the tree routes traffic, and it often
+// lengthens routes (everything funnels toward the root). This
+// implementation is faithful to both limitations: it only uses links
+// whose reverse link exists (throwing TurnProhibitionInfeasibleError when
+// connectivity over the bidirectional sub-topology is missing — exactly
+// the paper's critique of [18]), and it reports the hop inflation it
+// causes relative to the input routes.
+#pragma once
+
+#include <cstddef>
+
+#include "noc/design.h"
+#include "util/error.h"
+
+namespace nocdr {
+
+/// Raised when up*/down* cannot serve a flow because the bidirectional
+/// sub-topology does not connect its endpoints (application-specific
+/// designs frequently have unidirectional links — the paper, Section 1).
+class TurnProhibitionInfeasibleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Summary of an up*/down* re-routing run.
+struct UpDownReport {
+  /// Root switch used for the spanning tree.
+  SwitchId root;
+  /// Total route hops before and after: the inflation the restriction
+  /// costs (after >= shortest possible within the tree discipline).
+  std::size_t hops_before = 0;
+  std::size_t hops_after = 0;
+
+  [[nodiscard]] double HopInflation() const {
+    return hops_before == 0
+               ? 1.0
+               : static_cast<double>(hops_after) /
+                     static_cast<double>(hops_before);
+  }
+};
+
+/// Re-routes every flow of \p design with up*/down* over a BFS spanning
+/// tree rooted at the most-connected switch. No channels are added; the
+/// resulting CDG is acyclic by construction. Throws
+/// TurnProhibitionInfeasibleError when some flow cannot be served.
+UpDownReport ApplyUpDownRouting(NocDesign& design);
+
+}  // namespace nocdr

@@ -1,0 +1,40 @@
+// Independent deadlock-freedom verification with certificates.
+//
+// RemoveDeadlocks and ApplyResourceOrdering both end by making the CDG
+// acyclic. This module produces and checks the *evidence*: a topological
+// order of the channels such that every dependency edge goes forward.
+// The checker shares no code with the cycle search, so a bug in one is
+// caught by the other — the belt-and-braces style hardware sign-off
+// flows expect.
+#pragma once
+
+#include <vector>
+
+#include "cdg/cycle.h"
+#include "noc/design.h"
+#include "util/ids.h"
+
+namespace nocdr {
+
+/// Evidence for (or against) deadlock freedom of a design.
+struct DeadlockCertificate {
+  bool deadlock_free = false;
+  /// When deadlock_free: every channel, ordered so that all CDG edges
+  /// point forward (a topological order of the CDG).
+  std::vector<ChannelId> topological_order;
+  /// When not deadlock_free: one CDG cycle as the counterexample.
+  CdgCycle counterexample;
+};
+
+/// Analyzes \p design and returns either a topological order of its CDG
+/// (deadlock-free) or a concrete dependency cycle (deadlock-prone).
+DeadlockCertificate CertifyDeadlockFreedom(const NocDesign& design);
+
+/// Re-validates a positive certificate against the design from scratch:
+/// the order must contain every channel exactly once and every
+/// consecutive channel pair of every route must step strictly forward in
+/// the order. Returns false for negative certificates.
+bool CheckCertificate(const NocDesign& design,
+                      const DeadlockCertificate& certificate);
+
+}  // namespace nocdr

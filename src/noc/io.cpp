@@ -1,0 +1,215 @@
+#include "noc/io.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "cdg/cdg.h"
+#include "util/error.h"
+
+namespace nocdr {
+
+void WriteDesign(std::ostream& os, const NocDesign& design) {
+  os << "noc " << (design.name.empty() ? "unnamed" : design.name) << "\n";
+  const TopologyGraph& topo = design.topology;
+  for (std::size_t s = 0; s < topo.SwitchCount(); ++s) {
+    os << "switch " << topo.SwitchName(SwitchId(s)) << "\n";
+  }
+  for (std::size_t l = 0; l < topo.LinkCount(); ++l) {
+    const Link& link = topo.LinkAt(LinkId(l));
+    os << "link " << topo.SwitchName(link.src) << " "
+       << topo.SwitchName(link.dst);
+    const std::size_t vcs = topo.VcCount(LinkId(l));
+    if (vcs != 1) {
+      os << " " << vcs;
+    }
+    os << "\n";
+  }
+  const CommunicationGraph& traffic = design.traffic;
+  for (std::size_t c = 0; c < traffic.CoreCount(); ++c) {
+    os << "core " << traffic.CoreName(CoreId(c)) << " "
+       << topo.SwitchName(design.SwitchOf(CoreId(c))) << "\n";
+  }
+  for (std::size_t f = 0; f < traffic.FlowCount(); ++f) {
+    const Flow& flow = traffic.FlowAt(FlowId(f));
+    os << "flow " << traffic.CoreName(flow.src) << " "
+       << traffic.CoreName(flow.dst) << " " << flow.bandwidth_mbps << "\n";
+  }
+  for (std::size_t f = 0; f < traffic.FlowCount(); ++f) {
+    os << "route " << f;
+    for (ChannelId c : design.routes.RouteOf(FlowId(f))) {
+      const Channel& ch = topo.ChannelAt(c);
+      os << " " << ch.link.value() << ":" << ch.vc;
+    }
+    os << "\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void Fail(std::size_t line, const std::string& message) {
+  throw DesignParseError("line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+NocDesign ReadDesign(std::istream& is) {
+  NocDesign design;
+  std::map<std::string, SwitchId> switch_by_name;
+  std::map<std::string, CoreId> core_by_name;
+  std::size_t routes_seen = 0;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) {
+      continue;  // blank or comment-only
+    }
+    if (keyword == "noc") {
+      if (!(line >> design.name)) {
+        Fail(line_no, "noc: missing name");
+      }
+    } else if (keyword == "switch") {
+      std::string name;
+      if (!(line >> name)) {
+        Fail(line_no, "switch: missing name");
+      }
+      if (switch_by_name.contains(name)) {
+        Fail(line_no, "switch: duplicate name '" + name + "'");
+      }
+      switch_by_name.emplace(name, design.topology.AddSwitch(name));
+    } else if (keyword == "link") {
+      std::string src, dst;
+      if (!(line >> src >> dst)) {
+        Fail(line_no, "link: expected two switch names");
+      }
+      const auto si = switch_by_name.find(src);
+      const auto di = switch_by_name.find(dst);
+      if (si == switch_by_name.end() || di == switch_by_name.end()) {
+        Fail(line_no, "link: unknown switch");
+      }
+      const LinkId l = design.topology.AddLink(si->second, di->second);
+      std::size_t vcs = 1;
+      if (line >> vcs) {
+        if (vcs < 1) {
+          Fail(line_no, "link: vc count must be >= 1");
+        }
+        for (std::size_t v = 1; v < vcs; ++v) {
+          design.topology.AddVirtualChannel(l);
+        }
+      }
+    } else if (keyword == "core") {
+      std::string name, sw;
+      if (!(line >> name >> sw)) {
+        Fail(line_no, "core: expected name and switch");
+      }
+      const auto si = switch_by_name.find(sw);
+      if (si == switch_by_name.end()) {
+        Fail(line_no, "core: unknown switch '" + sw + "'");
+      }
+      if (core_by_name.contains(name)) {
+        Fail(line_no, "core: duplicate name '" + name + "'");
+      }
+      core_by_name.emplace(name, design.traffic.AddCore(name));
+      design.attachment.push_back(si->second);
+    } else if (keyword == "flow") {
+      std::string src, dst;
+      double bandwidth = 0.0;
+      if (!(line >> src >> dst >> bandwidth)) {
+        Fail(line_no, "flow: expected two cores and a bandwidth");
+      }
+      const auto si = core_by_name.find(src);
+      const auto di = core_by_name.find(dst);
+      if (si == core_by_name.end() || di == core_by_name.end()) {
+        Fail(line_no, "flow: unknown core");
+      }
+      design.traffic.AddFlow(si->second, di->second, bandwidth);
+      design.routes.Resize(design.traffic.FlowCount());
+    } else if (keyword == "route") {
+      std::size_t flow_index = 0;
+      if (!(line >> flow_index) ||
+          flow_index >= design.traffic.FlowCount()) {
+        Fail(line_no, "route: bad flow index");
+      }
+      Route route;
+      std::string hop;
+      while (line >> hop) {
+        const auto colon = hop.find(':');
+        if (colon == std::string::npos) {
+          Fail(line_no, "route: hop must be <link>:<vc>");
+        }
+        std::size_t link_index = 0, vc = 0;
+        try {
+          link_index = std::stoul(hop.substr(0, colon));
+          vc = std::stoul(hop.substr(colon + 1));
+        } catch (const std::exception&) {
+          Fail(line_no, "route: malformed hop '" + hop + "'");
+        }
+        if (link_index >= design.topology.LinkCount()) {
+          Fail(line_no, "route: unknown link " + std::to_string(link_index));
+        }
+        const auto channel = design.topology.FindChannel(
+            LinkId(link_index), static_cast<std::uint32_t>(vc));
+        if (!channel) {
+          Fail(line_no, "route: link " + std::to_string(link_index) +
+                            " has no vc " + std::to_string(vc));
+        }
+        route.push_back(*channel);
+      }
+      design.routes.SetRoute(FlowId(flow_index), std::move(route));
+      ++routes_seen;
+    } else {
+      Fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (routes_seen != design.traffic.FlowCount()) {
+    throw DesignParseError("missing route lines: " +
+                           std::to_string(routes_seen) + " of " +
+                           std::to_string(design.traffic.FlowCount()));
+  }
+  design.Validate();
+  return design;
+}
+
+void WriteTopologyDot(std::ostream& os, const NocDesign& design) {
+  const TopologyGraph& topo = design.topology;
+  os << "digraph topology {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t s = 0; s < topo.SwitchCount(); ++s) {
+    os << "  s" << s << " [label=\"" << topo.SwitchName(SwitchId(s))
+       << "\"];\n";
+  }
+  for (std::size_t l = 0; l < topo.LinkCount(); ++l) {
+    const Link& link = topo.LinkAt(LinkId(l));
+    os << "  s" << link.src.value() << " -> s" << link.dst.value()
+       << " [label=\"x" << topo.VcCount(LinkId(l)) << "\"];\n";
+  }
+  os << "}\n";
+}
+
+void WriteCdgDot(std::ostream& os, const NocDesign& design) {
+  const auto cdg = ChannelDependencyGraph::Build(design);
+  os << "digraph cdg {\n  node [shape=ellipse];\n";
+  for (std::size_t c = 0; c < design.topology.ChannelCount(); ++c) {
+    os << "  c" << c << " [label=\""
+       << design.topology.ChannelLabel(ChannelId(c)) << "\"];\n";
+  }
+  for (const CdgEdge& e : cdg.Edges()) {
+    os << "  c" << e.from.value() << " -> c" << e.to.value()
+       << " [label=\"";
+    for (std::size_t i = 0; i < e.flows.size(); ++i) {
+      os << (i ? "," : "") << "F" << e.flows[i].value();
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace nocdr

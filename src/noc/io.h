@@ -1,0 +1,48 @@
+// Serialization: a line-oriented text format for complete designs, plus
+// Graphviz exports for topologies and channel dependency graphs.
+//
+// The text format makes the library usable as a standalone tool — a
+// designer can describe a hand-made irregular topology with its routes in
+// a file, run the deadlock remover, and write the repaired design back.
+//
+//   noc <name>
+//   switch <name>                      # index order = declaration order
+//   link <src_switch> <dst_switch> [vc_count]
+//   core <name> <switch_name>
+//   flow <src_core> <dst_core> <bandwidth_mbps>
+//   route <flow_index> <link_index>:<vc> ...
+//
+// '#' starts a comment; blank lines are ignored. Every flow must receive
+// exactly one route line (possibly with zero hops).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "noc/design.h"
+
+namespace nocdr {
+
+/// Raised on malformed input to ReadDesign.
+class DesignParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes \p design in the text format above (stable, diff-friendly).
+void WriteDesign(std::ostream& os, const NocDesign& design);
+
+/// Parses a design written by WriteDesign (or by hand). The result is
+/// fully validated. Throws DesignParseError with line information on
+/// malformed input, InvalidModelError on structurally bad designs.
+NocDesign ReadDesign(std::istream& is);
+
+/// Graphviz (dot) rendering of the switch topology: switches as nodes,
+/// links as edges labelled with their VC count.
+void WriteTopologyDot(std::ostream& os, const NocDesign& design);
+
+/// Graphviz rendering of the channel dependency graph: channels as
+/// nodes, dependencies as edges labelled with the flows creating them.
+void WriteCdgDot(std::ostream& os, const NocDesign& design);
+
+}  // namespace nocdr

@@ -1,0 +1,88 @@
+#include "noc/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nocdr {
+
+DesignMetrics ComputeMetrics(const NocDesign& design) {
+  DesignMetrics m;
+  const TopologyGraph& topo = design.topology;
+  m.switches = topo.SwitchCount();
+  m.links = topo.LinkCount();
+  m.channels = topo.ChannelCount();
+  m.extra_vcs = topo.ExtraVcCount();
+  m.cores = design.traffic.CoreCount();
+  m.flows = design.traffic.FlowCount();
+
+  std::size_t routed_flows = 0, hop_sum = 0;
+  for (std::size_t fi = 0; fi < m.flows; ++fi) {
+    const std::size_t hops = design.routes.RouteOf(FlowId(fi)).size();
+    if (hops == 0) {
+      ++m.local_flows;
+      continue;
+    }
+    ++routed_flows;
+    hop_sum += hops;
+    m.max_route_hops = std::max(m.max_route_hops, hops);
+  }
+  if (routed_flows > 0) {
+    m.avg_route_hops =
+        static_cast<double>(hop_sum) / static_cast<double>(routed_flows);
+  }
+
+  for (std::size_t l = 0; l < m.links; ++l) {
+    const std::size_t vcs = topo.VcCount(LinkId(l));
+    m.max_vcs_per_link = std::max(m.max_vcs_per_link, vcs);
+  }
+  if (m.links > 0) {
+    m.avg_vcs_per_link =
+        static_cast<double>(m.channels) / static_cast<double>(m.links);
+  }
+
+  std::size_t degree_sum = 0;
+  for (std::size_t s = 0; s < m.switches; ++s) {
+    const std::size_t degree = topo.OutLinks(SwitchId(s)).size() +
+                               topo.InLinks(SwitchId(s)).size();
+    degree_sum += degree;
+    m.max_switch_degree = std::max(m.max_switch_degree, degree);
+  }
+  if (m.switches > 0) {
+    m.avg_switch_degree =
+        static_cast<double>(degree_sum) / static_cast<double>(m.switches);
+  }
+
+  const auto loads = design.LinkLoads();
+  if (!loads.empty()) {
+    double sum = 0.0;
+    for (double load : loads) {
+      sum += load;
+      m.max_link_load = std::max(m.max_link_load, load);
+    }
+    m.avg_link_load = sum / static_cast<double>(loads.size());
+    if (m.avg_link_load > 0.0) {
+      double var = 0.0;
+      for (double load : loads) {
+        const double d = load - m.avg_link_load;
+        var += d * d;
+      }
+      var /= static_cast<double>(loads.size());
+      m.link_load_cv = std::sqrt(var) / m.avg_link_load;
+    }
+  }
+  return m;
+}
+
+std::vector<std::size_t> RouteLengthHistogram(const NocDesign& design) {
+  std::vector<std::size_t> histogram;
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    const std::size_t hops = design.routes.RouteOf(FlowId(fi)).size();
+    if (hops >= histogram.size()) {
+      histogram.resize(hops + 1, 0);
+    }
+    ++histogram[hops];
+  }
+  return histogram;
+}
+
+}  // namespace nocdr

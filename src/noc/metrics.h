@@ -1,0 +1,46 @@
+// Design metrics: the structural quantities reported alongside the
+// deadlock experiments (route lengths, channel counts, link utilization
+// spread, switch degrees). Pure functions over a NocDesign; used by the
+// benches, the examples and the CLI tool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/design.h"
+
+namespace nocdr {
+
+/// Aggregate structural statistics of one design.
+struct DesignMetrics {
+  std::size_t switches = 0;
+  std::size_t links = 0;
+  std::size_t channels = 0;
+  std::size_t extra_vcs = 0;
+  std::size_t cores = 0;
+  std::size_t flows = 0;
+
+  double avg_route_hops = 0.0;   // over flows with non-empty routes
+  std::size_t max_route_hops = 0;
+  std::size_t local_flows = 0;   // flows with empty routes
+
+  std::size_t max_vcs_per_link = 0;
+  double avg_vcs_per_link = 0.0;
+
+  std::size_t max_switch_degree = 0;  // in + out links
+  double avg_switch_degree = 0.0;
+
+  /// Max and mean bandwidth crossing a link (MB/s).
+  double max_link_load = 0.0;
+  double avg_link_load = 0.0;
+  /// Coefficient of variation of link loads: 0 = perfectly balanced.
+  double link_load_cv = 0.0;
+};
+
+/// Computes all metrics of \p design (which must Validate()).
+DesignMetrics ComputeMetrics(const NocDesign& design);
+
+/// Histogram of route lengths: result[h] = number of flows with h hops.
+std::vector<std::size_t> RouteLengthHistogram(const NocDesign& design);
+
+}  // namespace nocdr

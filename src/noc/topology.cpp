@@ -1,0 +1,99 @@
+#include "noc/topology.h"
+
+#include "util/error.h"
+
+namespace nocdr {
+
+SwitchId TopologyGraph::AddSwitch(std::string name) {
+  SwitchId id(switch_names_.size());
+  if (name.empty()) {
+    name = "SW" + std::to_string(id.value());
+  }
+  switch_names_.push_back(std::move(name));
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  return id;
+}
+
+LinkId TopologyGraph::AddLink(SwitchId src, SwitchId dst) {
+  Require(IsValidSwitch(src) && IsValidSwitch(dst),
+          "AddLink: endpoint switch does not exist");
+  Require(src != dst, "AddLink: self-loop links are not allowed");
+  LinkId id(links_.size());
+  links_.push_back(Link{src, dst});
+  link_channels_.emplace_back();
+  out_links_[src.value()].push_back(id);
+  in_links_[dst.value()].push_back(id);
+  AddVirtualChannel(id);  // implicit VC 0
+  return id;
+}
+
+ChannelId TopologyGraph::AddVirtualChannel(LinkId link) {
+  Require(IsValidLink(link), "AddVirtualChannel: link does not exist");
+  ChannelId id(channels_.size());
+  auto& vcs = link_channels_[link.value()];
+  channels_.push_back(Channel{link, static_cast<std::uint32_t>(vcs.size())});
+  vcs.push_back(id);
+  return id;
+}
+
+const std::string& TopologyGraph::SwitchName(SwitchId s) const {
+  Require(IsValidSwitch(s), "SwitchName: switch does not exist");
+  return switch_names_[s.value()];
+}
+
+const Link& TopologyGraph::LinkAt(LinkId l) const {
+  Require(IsValidLink(l), "LinkAt: link does not exist");
+  return links_[l.value()];
+}
+
+const Channel& TopologyGraph::ChannelAt(ChannelId c) const {
+  Require(IsValidChannel(c), "ChannelAt: channel does not exist");
+  return channels_[c.value()];
+}
+
+const std::vector<ChannelId>& TopologyGraph::ChannelsOf(LinkId l) const {
+  Require(IsValidLink(l), "ChannelsOf: link does not exist");
+  return link_channels_[l.value()];
+}
+
+const std::vector<LinkId>& TopologyGraph::OutLinks(SwitchId s) const {
+  Require(IsValidSwitch(s), "OutLinks: switch does not exist");
+  return out_links_[s.value()];
+}
+
+const std::vector<LinkId>& TopologyGraph::InLinks(SwitchId s) const {
+  Require(IsValidSwitch(s), "InLinks: switch does not exist");
+  return in_links_[s.value()];
+}
+
+std::optional<LinkId> TopologyGraph::FindLink(SwitchId src,
+                                              SwitchId dst) const {
+  Require(IsValidSwitch(src) && IsValidSwitch(dst),
+          "FindLink: switch does not exist");
+  for (LinkId l : out_links_[src.value()]) {
+    if (links_[l.value()].dst == dst) {
+      return l;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ChannelId> TopologyGraph::FindChannel(LinkId link,
+                                                    std::uint32_t vc) const {
+  Require(IsValidLink(link), "FindChannel: link does not exist");
+  const auto& vcs = link_channels_[link.value()];
+  if (vc >= vcs.size()) {
+    return std::nullopt;
+  }
+  return vcs[vc];
+}
+
+std::string TopologyGraph::ChannelLabel(ChannelId c) const {
+  const Channel& ch = ChannelAt(c);
+  const Link& link = LinkAt(ch.link);
+  return SwitchName(link.src) + "->" + SwitchName(link.dst) + ".vc" +
+         std::to_string(ch.vc);
+}
+
+}  // namespace nocdr

@@ -1,0 +1,59 @@
+#include "noc/traffic.h"
+
+#include "util/error.h"
+
+namespace nocdr {
+
+CoreId CommunicationGraph::AddCore(std::string name) {
+  CoreId id(core_names_.size());
+  if (name.empty()) {
+    name = "core" + std::to_string(id.value());
+  }
+  core_names_.push_back(std::move(name));
+  out_flows_.emplace_back();
+  in_flows_.emplace_back();
+  return id;
+}
+
+FlowId CommunicationGraph::AddFlow(CoreId src, CoreId dst,
+                                   double bandwidth_mbps) {
+  Require(IsValidCore(src) && IsValidCore(dst),
+          "AddFlow: endpoint core does not exist");
+  Require(src != dst, "AddFlow: self-flows are not allowed");
+  Require(bandwidth_mbps >= 0.0, "AddFlow: negative bandwidth");
+  FlowId id(flows_.size());
+  flows_.push_back(Flow{src, dst, bandwidth_mbps});
+  out_flows_[src.value()].push_back(id);
+  in_flows_[dst.value()].push_back(id);
+  return id;
+}
+
+const std::string& CommunicationGraph::CoreName(CoreId c) const {
+  Require(IsValidCore(c), "CoreName: core does not exist");
+  return core_names_[c.value()];
+}
+
+const Flow& CommunicationGraph::FlowAt(FlowId f) const {
+  Require(IsValidFlow(f), "FlowAt: flow does not exist");
+  return flows_[f.value()];
+}
+
+const std::vector<FlowId>& CommunicationGraph::OutFlows(CoreId c) const {
+  Require(IsValidCore(c), "OutFlows: core does not exist");
+  return out_flows_[c.value()];
+}
+
+const std::vector<FlowId>& CommunicationGraph::InFlows(CoreId c) const {
+  Require(IsValidCore(c), "InFlows: core does not exist");
+  return in_flows_[c.value()];
+}
+
+double CommunicationGraph::TotalBandwidth() const {
+  double total = 0.0;
+  for (const Flow& f : flows_) {
+    total += f.bandwidth_mbps;
+  }
+  return total;
+}
+
+}  // namespace nocdr

@@ -1,0 +1,88 @@
+#include "power/model.h"
+
+#include "util/error.h"
+
+namespace nocdr {
+
+NocPowerArea EstimatePowerArea(const NocDesign& design,
+                               const PowerModelParams& params) {
+  const std::vector<double> lengths(design.topology.LinkCount(),
+                                    params.default_link_length_mm);
+  return EstimatePowerArea(design, lengths, params);
+}
+
+NocPowerArea EstimatePowerArea(const NocDesign& design,
+                               const std::vector<double>& link_lengths_mm,
+                               const PowerModelParams& params) {
+  const TopologyGraph& topology = design.topology;
+  Require(link_lengths_mm.size() >= topology.LinkCount(),
+          "EstimatePowerArea: missing link lengths");
+  NocPowerArea result;
+  result.switches.resize(topology.SwitchCount());
+
+  // Local (core-side) ports per switch.
+  std::vector<std::size_t> local_ports(topology.SwitchCount(), 0);
+  for (std::size_t c = 0; c < design.traffic.CoreCount(); ++c) {
+    ++local_ports[design.SwitchOf(CoreId(c)).value()];
+  }
+
+  for (std::size_t s = 0; s < topology.SwitchCount(); ++s) {
+    const SwitchId sw(s);
+    SwitchFootprint& fp = result.switches[s];
+    fp.in_ports = topology.InLinks(sw).size() + local_ports[s];
+    fp.out_ports = topology.OutLinks(sw).size() + local_ports[s];
+    fp.buffer_vcs = 0;
+    for (LinkId l : topology.InLinks(sw)) {
+      fp.buffer_vcs += topology.VcCount(l);
+    }
+
+    const double buffer_bits = static_cast<double>(fp.buffer_vcs) *
+                               params.buffer_depth_flits *
+                               params.flit_width_bits;
+    const double area_buffers = buffer_bits * params.area_per_buffer_bit;
+    const double area_xbar = params.area_xbar_per_port2_bit *
+                             static_cast<double>(fp.in_ports) *
+                             static_cast<double>(fp.out_ports) *
+                             params.flit_width_bits;
+    const double area_alloc =
+        params.area_alloc_per_portpair * static_cast<double>(fp.in_ports) *
+            static_cast<double>(fp.out_ports) +
+        params.area_alloc_per_vc * static_cast<double>(fp.buffer_vcs);
+    const double subtotal = area_buffers + area_xbar + area_alloc;
+    fp.area_um2 = subtotal * (1.0 + params.clock_area_fraction);
+    fp.leakage_mw = fp.area_um2 * params.leakage_mw_per_um2;
+    fp.clock_mw = buffer_bits * params.clock_mw_per_bit * params.clock_ghz;
+
+    result.switch_area_um2 += fp.area_um2;
+    result.leakage_mw += fp.leakage_mw;
+    result.clock_mw += fp.clock_mw;
+  }
+
+  // Traffic-dependent dynamic power. A flow of B MB/s moves B*8e6 bits/s.
+  // Each route of h channels crosses h links and h+1 switches (source and
+  // destination switches included); every switch traversal pays one
+  // buffer write+read and one crossbar pass, and every link traversal
+  // pays wire energy proportional to its length.
+  constexpr double kBitsPerMbps = 8.0e6;
+  constexpr double kPjPerSecToMw = 1.0e-9;  // pJ/s -> mW
+  for (std::size_t i = 0; i < design.traffic.FlowCount(); ++i) {
+    const FlowId f(i);
+    const Flow& flow = design.traffic.FlowAt(f);
+    const double bits_per_s = flow.bandwidth_mbps * kBitsPerMbps;
+    const Route& route = design.routes.RouteOf(f);
+    const double switch_traversals = static_cast<double>(route.size()) + 1.0;
+    double pj_per_bit =
+        switch_traversals * (params.energy_buffer_rw_pj_per_bit +
+                             params.energy_xbar_pj_per_bit);
+    for (ChannelId c : route) {
+      const LinkId link = topology.ChannelAt(c).link;
+      pj_per_bit +=
+          params.energy_link_pj_per_bit_mm * link_lengths_mm[link.value()];
+    }
+    result.dynamic_mw += bits_per_s * pj_per_bit * kPjPerSecToMw;
+  }
+
+  return result;
+}
+
+}  // namespace nocdr

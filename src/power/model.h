@@ -1,0 +1,97 @@
+// Analytical switch/link power and area model.
+//
+// Stands in for ORION 2.0 [20] (not redistributable) with the same
+// decomposition at 65 nm-class constants:
+//   * input buffers  — area/leakage scale with (VCs x depth x flit width);
+//     dominant area component of a wormhole switch;
+//   * crossbar       — area scales with in-ports x out-ports x width^2-ish;
+//     dynamic energy per flit traversal;
+//   * allocators     — switch + VC allocation, scales with port and VC
+//     counts;
+//   * clock tree     — dynamic power proportional to clocked storage;
+//   * leakage        — proportional to total area.
+// Dynamic power comes from the flow bandwidths (bits/s through each
+// switch and link on the route), so it is essentially unchanged when VCs
+// are added, while area, leakage and clock grow — the effect behind the
+// paper's Figure 10 and its 66%-area / 8.6%-power savings.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/design.h"
+
+namespace nocdr {
+
+/// Technology and microarchitecture constants. Defaults approximate a
+/// 65 nm standard-cell wormhole switch with 32-bit flits.
+struct PowerModelParams {
+  double flit_width_bits = 32.0;
+  double buffer_depth_flits = 4.0;
+  double clock_ghz = 1.0;
+
+  // Area coefficients (um^2). Input buffers dominate a wormhole switch
+  // (FF-based FIFOs with per-VC control), as in ORION's decomposition.
+  double area_per_buffer_bit = 90.0;        // FF-based FIFO incl. control
+  double area_xbar_per_port2_bit = 8.0;     // per (in x out) port pair, per bit
+  double area_alloc_per_portpair = 80.0;    // switch allocator
+  double area_alloc_per_vc = 40.0;          // VC state / arbitration
+  double clock_area_fraction = 0.10;        // clock tree as fraction of rest
+
+  // Dynamic energy coefficients (pJ per bit); together ~1 pJ/bit for a
+  // full switch traversal plus a default-length link, the usual 65 nm
+  // ballpark.
+  double energy_buffer_rw_pj_per_bit = 0.090;  // write + read
+  double energy_xbar_pj_per_bit = 0.036;
+  double energy_link_pj_per_bit_mm = 0.030;    // per mm of traversed wire
+  /// Wire length assumed when no floorplan is supplied.
+  double default_link_length_mm = 2.0;
+
+  // Static power.
+  double leakage_mw_per_um2 = 1.5e-5;  // ~15 mW/mm^2 (LP process)
+  // Clock dynamic power per clocked bit (buffers dominate FF count).
+  double clock_mw_per_bit = 1.0e-5;
+};
+
+/// Per-switch microarchitectural footprint derived from the design.
+struct SwitchFootprint {
+  std::size_t in_ports = 0;    // switch-to-switch in-links + local NIs
+  std::size_t out_ports = 0;   // switch-to-switch out-links + local NIs
+  std::size_t buffer_vcs = 0;  // buffered VCs at the link inputs; local
+                               // injection queues are charged to the NI,
+                               // not the switch
+  double area_um2 = 0.0;
+  double leakage_mw = 0.0;
+  double clock_mw = 0.0;
+};
+
+/// Whole-NoC power/area estimate.
+struct NocPowerArea {
+  std::vector<SwitchFootprint> switches;
+  double switch_area_um2 = 0.0;
+  double dynamic_mw = 0.0;  // traffic-dependent (buffers, crossbars, links)
+  double leakage_mw = 0.0;
+  double clock_mw = 0.0;
+
+  [[nodiscard]] double TotalPowerMw() const {
+    return dynamic_mw + leakage_mw + clock_mw;
+  }
+};
+
+/// Estimates power and area of \p design under \p params. Every channel
+/// of a link contributes one buffered VC at the downstream switch; local
+/// cores contribute one injection and one ejection crossbar port each
+/// (their queues live in the network interface and are identical across
+/// the compared designs, so they are excluded from switch area). Every
+/// link is assumed params.default_link_length_mm long.
+NocPowerArea EstimatePowerArea(const NocDesign& design,
+                               const PowerModelParams& params = {});
+
+/// Floorplan-aware variant: \p link_lengths_mm gives the wire length of
+/// each link (e.g. from Floorplan::LinkLengthMm), indexed by LinkId.
+/// Must cover every link of the design.
+NocPowerArea EstimatePowerArea(const NocDesign& design,
+                               const std::vector<double>& link_lengths_mm,
+                               const PowerModelParams& params);
+
+}  // namespace nocdr

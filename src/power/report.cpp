@@ -1,0 +1,64 @@
+#include "power/report.h"
+
+#include "util/table.h"
+
+namespace nocdr {
+
+void PrintPowerSummary(std::ostream& os, const NocDesign& design,
+                       const NocPowerArea& estimate) {
+  TextTable t;
+  t.AddRow({"design", design.name});
+  t.AddRow({"switch area (mm^2)",
+            FormatDouble(estimate.switch_area_um2 / 1e6, 4)});
+  t.AddRow({"dynamic power (mW)", FormatDouble(estimate.dynamic_mw, 3)});
+  t.AddRow({"leakage power (mW)", FormatDouble(estimate.leakage_mw, 3)});
+  t.AddRow({"clock power (mW)", FormatDouble(estimate.clock_mw, 3)});
+  t.AddRow({"total power (mW)", FormatDouble(estimate.TotalPowerMw(), 3)});
+  t.Print(os);
+}
+
+void PrintPerSwitchBreakdown(std::ostream& os, const NocDesign& design,
+                             const NocPowerArea& estimate) {
+  TextTable t;
+  t.SetHeader({"switch", "in", "out", "buf VCs", "area (um^2)",
+               "leakage (mW)", "clock (mW)"});
+  for (std::size_t s = 0; s < estimate.switches.size(); ++s) {
+    const SwitchFootprint& fp = estimate.switches[s];
+    t.AddRow({design.topology.SwitchName(SwitchId(s)),
+              std::to_string(fp.in_ports), std::to_string(fp.out_ports),
+              std::to_string(fp.buffer_vcs), FormatDouble(fp.area_um2, 0),
+              FormatDouble(fp.leakage_mw, 4),
+              FormatDouble(fp.clock_mw, 4)});
+  }
+  t.Print(os);
+}
+
+void PrintPowerComparison(std::ostream& os, const std::string& label_a,
+                          const NocPowerArea& a, const std::string& label_b,
+                          const NocPowerArea& b) {
+  auto delta = [](double va, double vb) {
+    if (va == 0.0) {
+      return std::string("-");
+    }
+    return FormatDouble(100.0 * (vb / va - 1.0), 1) + "%";
+  };
+  TextTable t;
+  t.SetHeader({"quantity", label_a, label_b, "delta"});
+  t.AddRow({"area (mm^2)", FormatDouble(a.switch_area_um2 / 1e6, 4),
+            FormatDouble(b.switch_area_um2 / 1e6, 4),
+            delta(a.switch_area_um2, b.switch_area_um2)});
+  t.AddRow({"dynamic (mW)", FormatDouble(a.dynamic_mw, 3),
+            FormatDouble(b.dynamic_mw, 3),
+            delta(a.dynamic_mw, b.dynamic_mw)});
+  t.AddRow({"leakage (mW)", FormatDouble(a.leakage_mw, 3),
+            FormatDouble(b.leakage_mw, 3),
+            delta(a.leakage_mw, b.leakage_mw)});
+  t.AddRow({"clock (mW)", FormatDouble(a.clock_mw, 3),
+            FormatDouble(b.clock_mw, 3), delta(a.clock_mw, b.clock_mw)});
+  t.AddRow({"total (mW)", FormatDouble(a.TotalPowerMw(), 3),
+            FormatDouble(b.TotalPowerMw(), 3),
+            delta(a.TotalPowerMw(), b.TotalPowerMw())});
+  t.Print(os);
+}
+
+}  // namespace nocdr

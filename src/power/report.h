@@ -1,0 +1,29 @@
+// Rendering of power/area estimates as tables.
+//
+// Formats a NocPowerArea (optionally next to a second design's estimate,
+// the way the paper's comparisons are presented) into the library's
+// aligned text tables, with a per-switch breakdown for floorplanning and
+// hot-spot inspection.
+#pragma once
+
+#include <ostream>
+
+#include "power/model.h"
+
+namespace nocdr {
+
+/// Prints the NoC-level summary: area, dynamic/leakage/clock/total power.
+void PrintPowerSummary(std::ostream& os, const NocDesign& design,
+                       const NocPowerArea& estimate);
+
+/// Prints one row per switch: ports, buffered VCs, area, leakage, clock.
+void PrintPerSwitchBreakdown(std::ostream& os, const NocDesign& design,
+                             const NocPowerArea& estimate);
+
+/// Prints a two-column comparison of the same network under two
+/// treatments (e.g. removal vs. resource ordering), with relative deltas.
+void PrintPowerComparison(std::ostream& os, const std::string& label_a,
+                          const NocPowerArea& a, const std::string& label_b,
+                          const NocPowerArea& b);
+
+}  // namespace nocdr

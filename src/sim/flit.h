@@ -1,0 +1,31 @@
+// Flit and packet primitives for the wormhole simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ids.h"
+
+namespace nocdr {
+
+/// Uniquely identifies a packet in flight: owning flow + sequence number.
+struct PacketKey {
+  FlowId flow;
+  std::uint32_t sequence = 0;
+
+  friend bool operator==(const PacketKey&, const PacketKey&) = default;
+};
+
+/// One flow-control unit. Wormhole switching moves packets flit by flit;
+/// the head flit acquires each channel for the whole packet and the tail
+/// flit releases it — which is precisely how a cyclic channel-wait can
+/// freeze the network.
+struct Flit {
+  PacketKey packet;
+  std::uint16_t index = 0;    // position within the packet
+  bool is_head = false;
+  bool is_tail = false;
+  std::uint16_t hop = 0;      // how many channels already traversed
+  std::uint64_t injected_at = 0;
+};
+
+}  // namespace nocdr

@@ -1,0 +1,378 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+/// Runtime state of one channel: its input buffer at the downstream
+/// switch and the wormhole ownership.
+struct VcState {
+  std::deque<Flit> fifo;
+  std::optional<PacketKey> owner;
+};
+
+/// Injection state of one flow.
+struct SourceState {
+  std::uint32_t next_packet = 0;   // next schedule entry to inject
+  std::uint16_t next_flit = 0;     // 0 = must inject the head
+  std::uint64_t head_injected_at = 0;
+};
+
+class Engine {
+ public:
+  Engine(const NocDesign& design, const SimConfig& config)
+      : design_(design),
+        config_(config),
+        schedule_(design, config.traffic, config.max_cycles),
+        vcs_(design.topology.ChannelCount()),
+        sources_(design.traffic.FlowCount()) {
+    result_.packets_offered = schedule_.TotalPackets();
+    result_.flows.resize(design.traffic.FlowCount());
+    result_.channel_flits.assign(design.topology.ChannelCount(), 0);
+    flow_latency_sum_.assign(design.traffic.FlowCount(), 0);
+  }
+
+  SimResult Run() {
+    std::uint64_t last_progress = 0;
+    for (cycle_ = 0; cycle_ < config_.max_cycles; ++cycle_) {
+      const bool moved = Step();
+      if (moved) {
+        last_progress = cycle_;
+      }
+      if (result_.packets_delivered == result_.packets_offered &&
+          AllSourcesDrained()) {
+        ++cycle_;
+        break;
+      }
+      // Early exact detection: a cycle of hard waits is permanent.
+      if (cycle_ % config_.deadlock_check_interval == 0 && FlitsInFlight() &&
+          DetectCircularWait()) {
+        result_.deadlocked = true;
+        break;
+      }
+      // Watchdog: arbitration is work-conserving, so a total stall with
+      // flits in flight means no flit is movable — every buffer front is
+      // hard-blocked, which in a finite network implies a circular wait
+      // even when it hides behind empty-but-owned channels that the
+      // channel-level detector cannot chain through.
+      if (cycle_ - last_progress >= config_.stall_threshold &&
+          FlitsInFlight()) {
+        result_.deadlocked = true;
+        DetectCircularWait();  // best effort: attach a certificate
+        break;
+      }
+    }
+    result_.cycles = cycle_;
+    for (const VcState& vc : vcs_) {
+      result_.stuck_flits += vc.fifo.size();
+    }
+    if (result_.flits_delivered > 0 && result_.packets_delivered > 0) {
+      result_.avg_packet_latency =
+          static_cast<double>(latency_sum_) /
+          static_cast<double>(result_.packets_delivered);
+    }
+    for (std::size_t f = 0; f < result_.flows.size(); ++f) {
+      FlowStats& stats = result_.flows[f];
+      if (stats.packets_delivered > 0) {
+        stats.avg_latency = static_cast<double>(flow_latency_sum_[f]) /
+                            static_cast<double>(stats.packets_delivered);
+      }
+    }
+    return result_;
+  }
+
+ private:
+  [[nodiscard]] bool FlitsInFlight() const {
+    for (const VcState& vc : vcs_) {
+      if (!vc.fifo.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool AllSourcesDrained() const {
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i].next_packet < schedule_.PacketCount(FlowId(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// One simulated cycle; returns true when at least one flit moved.
+  bool Step() {
+    link_used_.assign(design_.topology.LinkCount(), false);
+    popped_.assign(vcs_.size(), false);
+    // Claimable free slots per channel at cycle start.
+    free_slots_.resize(vcs_.size());
+    for (std::size_t c = 0; c < vcs_.size(); ++c) {
+      free_slots_[c] =
+          static_cast<int>(config_.buffer_depth) -
+          static_cast<int>(vcs_[c].fifo.size());
+    }
+    claimed_by_head_.assign(vcs_.size(), false);
+    moves_.clear();
+    ejects_.clear();
+    injections_.clear();
+
+    bool moved = false;
+    // Channel traversals first, in rotating order.
+    const std::size_t n = vcs_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t c = (k + cycle_) % n;
+      if (TryForwardFrom(ChannelId(c))) {
+        moved = true;
+      }
+    }
+    // Injections after the in-network traffic.
+    const std::size_t flows = sources_.size();
+    for (std::size_t k = 0; k < flows; ++k) {
+      const std::size_t f = (k + cycle_) % flows;
+      if (TryInject(FlowId(f))) {
+        moved = true;
+      }
+    }
+    Commit();
+    return moved;
+  }
+
+  /// Plans the move of the head flit of channel \p c, if possible.
+  bool TryForwardFrom(ChannelId c) {
+    VcState& vc = vcs_[c.value()];
+    if (vc.fifo.empty() || popped_[c.value()]) {
+      return false;
+    }
+    const Flit& flit = vc.fifo.front();
+    const Route& route = design_.routes.RouteOf(flit.packet.flow);
+    if (flit.hop + 1u == route.size()) {
+      // Last channel: eject into the destination NI (ideal sink).
+      ejects_.push_back(c);
+      popped_[c.value()] = true;
+      return true;
+    }
+    const ChannelId t = route[flit.hop + 1];
+    if (!ClaimTransfer(t, flit)) {
+      return false;
+    }
+    moves_.push_back({c, t});
+    popped_[c.value()] = true;
+    return true;
+  }
+
+  /// Plans injecting the next flit of flow \p f, if one is ready.
+  bool TryInject(FlowId f) {
+    SourceState& src = sources_[f.value()];
+    if (src.next_packet >= schedule_.PacketCount(f)) {
+      return false;
+    }
+    if (schedule_.ReadyAt(f, src.next_packet) > cycle_) {
+      return false;
+    }
+    const Route& route = design_.routes.RouteOf(f);
+    if (route.empty()) {
+      // Core-local flow: delivered through the switch's local crossbar
+      // turnaround without using any network channel.
+      ++src.next_packet;
+      ++result_.packets_injected;
+      ++result_.packets_delivered;
+      result_.flits_delivered += config_.traffic.packet_length;
+      latency_sum_ += 1;
+      result_.max_packet_latency = std::max<std::uint64_t>(
+          result_.max_packet_latency, 1);
+      FlowStats& stats = result_.flows[f.value()];
+      ++stats.packets_delivered;
+      stats.max_latency = std::max<std::uint64_t>(stats.max_latency, 1);
+      flow_latency_sum_[f.value()] += 1;
+      return true;
+    }
+    Flit flit;
+    flit.packet = PacketKey{f, src.next_packet};
+    flit.index = src.next_flit;
+    flit.is_head = src.next_flit == 0;
+    flit.is_tail = src.next_flit + 1u == config_.traffic.packet_length;
+    flit.hop = 0;
+    flit.injected_at = flit.is_head ? cycle_ : src.head_injected_at;
+    if (!ClaimTransfer(route.front(), flit)) {
+      return false;
+    }
+    injections_.push_back(flit);
+    if (flit.is_head) {
+      src.head_injected_at = cycle_;
+      ++result_.packets_injected;
+    }
+    if (flit.is_tail) {
+      ++src.next_packet;
+      src.next_flit = 0;
+    } else {
+      ++src.next_flit;
+    }
+    return true;
+  }
+
+  /// Claims buffer space, link bandwidth and wormhole ownership for
+  /// moving \p flit into channel \p t. Returns false (claiming nothing)
+  /// if any resource is unavailable this cycle.
+  bool ClaimTransfer(ChannelId t, const Flit& flit) {
+    const LinkId link = design_.topology.ChannelAt(t).link;
+    if (link_used_[link.value()]) {
+      return false;
+    }
+    if (free_slots_[t.value()] <= 0) {
+      return false;
+    }
+    VcState& target = vcs_[t.value()];
+    if (target.owner.has_value()) {
+      if (*target.owner != flit.packet) {
+        return false;  // channel held by another worm
+      }
+    } else {
+      // Only a head flit may allocate a free channel, and only one head
+      // per channel per cycle.
+      if (!flit.is_head || claimed_by_head_[t.value()]) {
+        return false;
+      }
+      claimed_by_head_[t.value()] = true;
+    }
+    link_used_[link.value()] = true;
+    --free_slots_[t.value()];
+    return true;
+  }
+
+  /// Applies the planned ejections, forwards and injections.
+  void Commit() {
+    for (ChannelId c : ejects_) {
+      VcState& vc = vcs_[c.value()];
+      Flit flit = vc.fifo.front();
+      vc.fifo.pop_front();
+      ++result_.flits_delivered;
+      ++result_.channel_flits[c.value()];
+      if (flit.is_tail) {
+        vc.owner.reset();
+        ++result_.packets_delivered;
+        const std::uint64_t latency = cycle_ - flit.injected_at + 1;
+        latency_sum_ += latency;
+        result_.max_packet_latency =
+            std::max(result_.max_packet_latency, latency);
+        FlowStats& stats = result_.flows[flit.packet.flow.value()];
+        ++stats.packets_delivered;
+        stats.max_latency = std::max(stats.max_latency, latency);
+        flow_latency_sum_[flit.packet.flow.value()] += latency;
+      }
+    }
+    for (const auto& [from, to] : moves_) {
+      VcState& src = vcs_[from.value()];
+      VcState& dst = vcs_[to.value()];
+      Flit flit = src.fifo.front();
+      src.fifo.pop_front();
+      ++result_.channel_flits[from.value()];
+      if (flit.is_head) {
+        dst.owner = flit.packet;
+      }
+      if (flit.is_tail) {
+        src.owner.reset();
+      }
+      ++flit.hop;
+      dst.fifo.push_back(flit);
+    }
+    for (const Flit& flit : injections_) {
+      const Route& route = design_.routes.RouteOf(flit.packet.flow);
+      VcState& dst = vcs_[route.front().value()];
+      if (flit.is_head) {
+        dst.owner = flit.packet;
+      }
+      dst.fifo.push_back(flit);
+    }
+  }
+
+  /// Exact circular-wait detection. Build the wait-for graph restricted
+  /// to *hard* waits: the head flit of channel c needs channel t, and t
+  /// is either owned by a different packet or has no free slot. A
+  /// directed cycle of hard waits can never resolve (wormhole channels
+  /// are non-preemptible), so it is a deadlock certificate.
+  bool DetectCircularWait() {
+    const std::size_t n = vcs_.size();
+    std::vector<std::int32_t> waits_on(n, -1);
+    for (std::size_t c = 0; c < n; ++c) {
+      const VcState& vc = vcs_[c];
+      if (vc.fifo.empty()) {
+        continue;
+      }
+      const Flit& flit = vc.fifo.front();
+      const Route& route = design_.routes.RouteOf(flit.packet.flow);
+      if (flit.hop + 1u == route.size()) {
+        continue;  // ejection never blocks
+      }
+      const ChannelId t = route[flit.hop + 1];
+      const VcState& target = vcs_[t.value()];
+      const bool foreign_owner =
+          target.owner.has_value() && *target.owner != flit.packet;
+      const bool full = target.fifo.size() >= config_.buffer_depth;
+      if (foreign_owner || full) {
+        waits_on[c] = static_cast<std::int32_t>(t.value());
+      }
+    }
+    // Functional graph (out-degree <= 1): cycle detection by pointer
+    // chasing with a visit stamp.
+    std::vector<std::uint32_t> stamp(n, 0);
+    for (std::size_t start = 0; start < n; ++start) {
+      if (waits_on[start] < 0 || stamp[start] != 0) {
+        continue;
+      }
+      std::size_t cur = start;
+      const std::uint32_t mark = static_cast<std::uint32_t>(start) + 1;
+      while (waits_on[cur] >= 0 && stamp[cur] == 0) {
+        stamp[cur] = mark;
+        cur = static_cast<std::size_t>(waits_on[cur]);
+      }
+      if (waits_on[cur] >= 0 && stamp[cur] == mark) {
+        // Found a cycle through `cur`; record it for the report.
+        std::size_t walker = cur;
+        do {
+          result_.deadlock_cycle.push_back(ChannelId(walker));
+          walker = static_cast<std::size_t>(waits_on[walker]);
+        } while (walker != cur);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const NocDesign& design_;
+  SimConfig config_;
+  TrafficSchedule schedule_;
+  std::vector<VcState> vcs_;
+  std::vector<SourceState> sources_;
+  SimResult result_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t latency_sum_ = 0;
+  std::vector<std::uint64_t> flow_latency_sum_;
+
+  // Per-cycle planning scratch.
+  std::vector<bool> link_used_;
+  std::vector<bool> popped_;
+  std::vector<int> free_slots_;
+  std::vector<bool> claimed_by_head_;
+  std::vector<std::pair<ChannelId, ChannelId>> moves_;
+  std::vector<ChannelId> ejects_;
+  std::vector<Flit> injections_;
+};
+
+}  // namespace
+
+SimResult SimulateWorkload(const NocDesign& design, const SimConfig& config) {
+  Require(config.traffic.packet_length >= 1,
+          "SimulateWorkload: packets need at least one flit");
+  Require(config.buffer_depth >= 1,
+          "SimulateWorkload: buffers need at least one slot");
+  Engine engine(design, config);
+  return engine.Run();
+}
+
+}  // namespace nocdr

@@ -1,0 +1,45 @@
+#include "sim/traffic_gen.h"
+
+#include "util/error.h"
+
+namespace nocdr {
+
+TrafficSchedule::TrafficSchedule(const NocDesign& design,
+                                 const TrafficConfig& config,
+                                 std::uint64_t horizon_cycles) {
+  const std::size_t flows = design.traffic.FlowCount();
+  ready_.resize(flows);
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < flows; ++i) {
+    Rng flow_rng = rng.Fork();
+    auto& schedule = ready_[i];
+    if (config.mode == InjectionMode::kFixedCount) {
+      schedule.assign(config.packets_per_flow, 0);
+    } else {
+      const Flow& flow = design.traffic.FlowAt(FlowId(i));
+      const double rate = config.reference_injection_rate *
+                          (flow.bandwidth_mbps / config.reference_bandwidth);
+      for (std::uint64_t cycle = 0; cycle < horizon_cycles; ++cycle) {
+        if (flow_rng.NextBool(rate)) {
+          schedule.push_back(cycle);
+        }
+      }
+    }
+    total_ += schedule.size();
+  }
+}
+
+std::uint32_t TrafficSchedule::PacketCount(FlowId f) const {
+  Require(f.valid() && f.value() < ready_.size(),
+          "PacketCount: unknown flow");
+  return static_cast<std::uint32_t>(ready_[f.value()].size());
+}
+
+std::uint64_t TrafficSchedule::ReadyAt(FlowId f, std::uint32_t seq) const {
+  Require(f.valid() && f.value() < ready_.size(), "ReadyAt: unknown flow");
+  const auto& schedule = ready_[f.value()];
+  Require(seq < schedule.size(), "ReadyAt: packet sequence out of range");
+  return schedule[seq];
+}
+
+}  // namespace nocdr

@@ -1,0 +1,67 @@
+#include "soc/synthetic.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nocdr {
+
+SocBenchmark MakeSyntheticSoc(const SyntheticSocSpec& spec) {
+  Require(spec.cores >= spec.hubs + 2,
+          "MakeSyntheticSoc: too few cores for the hub count");
+  Require(spec.pipeline_length >= 1,
+          "MakeSyntheticSoc: pipelines need at least one stage");
+  Require(spec.min_bandwidth <= spec.max_bandwidth,
+          "MakeSyntheticSoc: bandwidth range inverted");
+
+  SocBenchmark b;
+  b.name = "S" + std::to_string(spec.cores) + "_f" +
+           std::to_string(spec.fanout);
+  CommunicationGraph& g = b.traffic;
+  Rng rng(spec.seed ^ (spec.cores * 2654435761ULL));
+  auto bandwidth = [&]() {
+    return spec.min_bandwidth +
+           rng.NextDouble() * (spec.max_bandwidth - spec.min_bandwidth);
+  };
+
+  std::vector<CoreId> hubs;
+  for (std::size_t h = 0; h < spec.hubs; ++h) {
+    hubs.push_back(g.AddCore("hub" + std::to_string(h)));
+  }
+  std::vector<CoreId> procs;
+  for (std::size_t c = spec.hubs; c < spec.cores; ++c) {
+    procs.push_back(g.AddCore("p" + std::to_string(c - spec.hubs)));
+  }
+
+  // Pipelines: consecutive processing cores chain together; each chain
+  // spills to a hub and the next chain reads from one.
+  for (std::size_t start = 0; start < procs.size();
+       start += spec.pipeline_length) {
+    const std::size_t end =
+        std::min(start + spec.pipeline_length, procs.size());
+    for (std::size_t i = start; i + 1 < end; ++i) {
+      g.AddFlow(procs[i], procs[i + 1], bandwidth());
+    }
+    if (!hubs.empty()) {
+      const CoreId spill = hubs[(start / spec.pipeline_length) % hubs.size()];
+      g.AddFlow(procs[end - 1], spill, bandwidth());
+      g.AddFlow(spill, procs[start], bandwidth());
+    }
+  }
+
+  // Strided peer-to-peer traffic, as in the D36 family.
+  constexpr std::size_t kStrides[] = {1, 5, 7, 11, 13, 17, 19, 23,
+                                      29, 31, 37, 41};
+  const std::size_t n = procs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < spec.fanout && j < std::size(kStrides);
+         ++j) {
+      const std::size_t dst = (i + kStrides[j]) % n;
+      if (dst != i) {
+        g.AddFlow(procs[i], procs[dst], bandwidth());
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace nocdr

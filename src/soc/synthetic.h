@@ -1,0 +1,35 @@
+// Configurable synthetic SoC generator.
+//
+// The six named benchmarks match the paper's suite; this generator
+// extrapolates beyond it for scalability studies ("the method runs
+// within minutes even for the largest benchmark and it is scalable"):
+// arbitrary core counts with the same structural ingredients — memory
+// hubs, processing pipelines and strided peer-to-peer flows.
+#pragma once
+
+#include <cstdint>
+
+#include "soc/benchmarks.h"
+
+namespace nocdr {
+
+struct SyntheticSocSpec {
+  std::size_t cores = 64;
+  /// Strided peer-to-peer destinations per processing core.
+  std::size_t fanout = 4;
+  /// Number of memory-hub cores every pipeline stages through.
+  std::size_t hubs = 2;
+  /// Length of each processing pipeline chain (>= 1); chains partition
+  /// the non-hub cores.
+  std::size_t pipeline_length = 6;
+  /// Bandwidth range for generated flows (MB/s).
+  double min_bandwidth = 10.0;
+  double max_bandwidth = 200.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a synthetic SoC communication graph; deterministic in the
+/// spec. The name encodes the shape, e.g. "S64_f4".
+SocBenchmark MakeSyntheticSoc(const SyntheticSocSpec& spec);
+
+}  // namespace nocdr

@@ -1,0 +1,139 @@
+#include "synth/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+std::size_t ManhattanTiles(std::size_t a, std::size_t b, std::size_t side) {
+  const std::size_t ax = a % side, ay = a / side;
+  const std::size_t bx = b % side, by = b / side;
+  const std::size_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::size_t dy = ay > by ? ay - by : by - ay;
+  return dx + dy;
+}
+
+}  // namespace
+
+Floorplan Floorplan::Place(const NocDesign& design,
+                           const FloorplanOptions& options) {
+  const std::size_t n = design.topology.SwitchCount();
+  Require(n >= 1, "Floorplan: no switches to place");
+
+  Floorplan plan;
+  plan.tile_um_ = options.tile_um;
+  plan.side_ = 1;
+  while (plan.side_ * plan.side_ < n) {
+    ++plan.side_;
+  }
+  const std::size_t tiles = plan.side_ * plan.side_;
+
+  // Inter-switch demand (both directions) drives the placement.
+  std::vector<std::vector<double>> weight(n, std::vector<double>(n, 0.0));
+  std::vector<double> volume(n, 0.0);
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    const Flow& flow = design.traffic.FlowAt(FlowId(fi));
+    const std::size_t s = design.SwitchOf(flow.src).value();
+    const std::size_t t = design.SwitchOf(flow.dst).value();
+    if (s != t) {
+      weight[s][t] += flow.bandwidth_mbps;
+      weight[t][s] += flow.bandwidth_mbps;
+      volume[s] += flow.bandwidth_mbps;
+      volume[t] += flow.bandwidth_mbps;
+    }
+  }
+  // Physical adjacency matters too (links without mapped flows still
+  // exist as wires): give every link a small pull.
+  for (std::size_t l = 0; l < design.topology.LinkCount(); ++l) {
+    const Link& link = design.topology.LinkAt(LinkId(l));
+    weight[link.src.value()][link.dst.value()] += 1.0;
+    weight[link.dst.value()][link.src.value()] += 1.0;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return volume[a] > volume[b];
+                   });
+
+  constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+  plan.tile_of_.assign(n, kFree);
+  std::vector<bool> occupied(tiles, false);
+
+  // Seed the heaviest switch at the grid center.
+  const std::size_t center =
+      (plan.side_ / 2) * plan.side_ + plan.side_ / 2;
+  plan.tile_of_[order[0]] = center;
+  occupied[center] = true;
+
+  for (std::size_t oi = 1; oi < n; ++oi) {
+    const std::size_t s = order[oi];
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_tile = 0;
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      if (occupied[tile]) {
+        continue;
+      }
+      double cost = 0.0;
+      for (std::size_t other = 0; other < n; ++other) {
+        if (plan.tile_of_[other] != kFree && weight[s][other] > 0.0) {
+          cost += weight[s][other] *
+                  static_cast<double>(
+                      ManhattanTiles(tile, plan.tile_of_[other], plan.side_));
+        }
+      }
+      // Prefer central tiles on ties so the plan stays compact.
+      cost += 1e-6 * static_cast<double>(
+                         ManhattanTiles(tile, center, plan.side_));
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_tile = tile;
+      }
+    }
+    plan.tile_of_[s] = best_tile;
+    occupied[best_tile] = true;
+  }
+
+  plan.link_length_mm_.resize(design.topology.LinkCount());
+  for (std::size_t l = 0; l < design.topology.LinkCount(); ++l) {
+    const Link& link = design.topology.LinkAt(LinkId(l));
+    const std::size_t hops = ManhattanTiles(
+        plan.tile_of_[link.src.value()], plan.tile_of_[link.dst.value()],
+        plan.side_);
+    // Adjacent tiles are one tile pitch apart; same-tile is impossible
+    // (self-loops are rejected by the topology).
+    plan.link_length_mm_[l] =
+        static_cast<double>(hops) * options.tile_um / 1000.0;
+  }
+  return plan;
+}
+
+std::pair<std::size_t, std::size_t> Floorplan::PositionOf(SwitchId s) const {
+  Require(s.valid() && s.value() < tile_of_.size(),
+          "Floorplan: unknown switch");
+  const std::size_t tile = tile_of_[s.value()];
+  return {tile % side_, tile / side_};
+}
+
+double Floorplan::LinkLengthMm(LinkId link) const {
+  Require(link.valid() && link.value() < link_length_mm_.size(),
+          "Floorplan: unknown link");
+  return link_length_mm_[link.value()];
+}
+
+double Floorplan::TotalWireMm() const {
+  double total = 0.0;
+  for (double mm : link_length_mm_) {
+    total += mm;
+  }
+  return total;
+}
+
+}  // namespace nocdr

@@ -1,0 +1,164 @@
+#include "synth/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+/// Symmetric core-to-core bandwidth lookup.
+class AffinityMatrix {
+ public:
+  explicit AffinityMatrix(const CommunicationGraph& traffic)
+      : n_(traffic.CoreCount()), w_(n_ * n_, 0.0) {
+    for (std::size_t i = 0; i < traffic.FlowCount(); ++i) {
+      const Flow& f = traffic.FlowAt(FlowId(i));
+      At(f.src.value(), f.dst.value()) += f.bandwidth_mbps;
+      At(f.dst.value(), f.src.value()) += f.bandwidth_mbps;
+    }
+  }
+
+  [[nodiscard]] double Between(std::size_t a, std::size_t b) const {
+    return w_[a * n_ + b];
+  }
+
+ private:
+  double& At(std::size_t a, std::size_t b) { return w_[a * n_ + b]; }
+
+  std::size_t n_;
+  std::vector<double> w_;
+};
+
+}  // namespace
+
+std::vector<SwitchId> PartitionCores(const CommunicationGraph& traffic,
+                                     std::size_t switch_count,
+                                     const PartitionOptions& options) {
+  const std::size_t cores = traffic.CoreCount();
+  Require(switch_count >= 1, "PartitionCores: need at least one switch");
+  Require(switch_count <= cores,
+          "PartitionCores: more switches than cores");
+
+  std::size_t capacity = options.max_cores_per_switch;
+  if (capacity == 0) {
+    capacity = (cores + switch_count - 1) / switch_count;
+  }
+  Require(capacity * switch_count >= cores,
+          "PartitionCores: capacity too small to place all cores");
+
+  const AffinityMatrix affinity(traffic);
+
+  // Seed order: heaviest communicators first, so the hubs anchor clusters.
+  std::vector<std::size_t> order(cores);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> volume(cores, 0.0);
+  for (std::size_t i = 0; i < traffic.FlowCount(); ++i) {
+    const Flow& f = traffic.FlowAt(FlowId(i));
+    volume[f.src.value()] += f.bandwidth_mbps;
+    volume[f.dst.value()] += f.bandwidth_mbps;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return volume[a] > volume[b];
+                   });
+
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cluster_of(cores, kUnassigned);
+  std::vector<std::vector<std::size_t>> members(switch_count);
+
+  // The first switch_count cores each seed one cluster, guaranteeing no
+  // switch is left empty.
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    cluster_of[order[s]] = s;
+    members[s].push_back(order[s]);
+  }
+  for (std::size_t oi = switch_count; oi < cores; ++oi) {
+    const std::size_t core = order[oi];
+    double best_gain = -1.0;
+    std::size_t best_cluster = 0;
+    for (std::size_t s = 0; s < switch_count; ++s) {
+      if (members[s].size() >= capacity) {
+        continue;
+      }
+      double gain = 0.0;
+      for (std::size_t other : members[s]) {
+        gain += affinity.Between(core, other);
+      }
+      // Prefer higher affinity; among ties, the emptier cluster (keeps
+      // switch port counts balanced).
+      if (gain > best_gain ||
+          (gain == best_gain &&
+           members[s].size() < members[best_cluster].size())) {
+        best_gain = gain;
+        best_cluster = s;
+      }
+    }
+    cluster_of[core] = best_cluster;
+    members[best_cluster].push_back(core);
+  }
+
+  // Pairwise-swap refinement: swap two cores in different clusters when
+  // that increases total intra-cluster affinity.
+  auto internal_gain = [&](std::size_t core, std::size_t cluster) {
+    double g = 0.0;
+    for (std::size_t other : members[cluster]) {
+      if (other != core) {
+        g += affinity.Between(core, other);
+      }
+    }
+    return g;
+  };
+  for (std::size_t pass = 0; pass < options.refinement_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t a = 0; a < cores; ++a) {
+      for (std::size_t b = a + 1; b < cores; ++b) {
+        const std::size_t ca = cluster_of[a];
+        const std::size_t cb = cluster_of[b];
+        if (ca == cb) {
+          continue;
+        }
+        const double before = internal_gain(a, ca) + internal_gain(b, cb);
+        const double cross = affinity.Between(a, b);
+        // After the swap, a joins cb and b joins ca; the pair's mutual
+        // affinity stays external either way, so subtract it out.
+        const double after = internal_gain(a, cb) - cross +
+                             internal_gain(b, ca) - cross;
+        if (after > before + 1e-9) {
+          std::erase(members[ca], a);
+          std::erase(members[cb], b);
+          members[cb].push_back(a);
+          members[ca].push_back(b);
+          cluster_of[a] = cb;
+          cluster_of[b] = ca;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+
+  std::vector<SwitchId> attachment(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    attachment[c] = SwitchId(cluster_of[c]);
+  }
+  return attachment;
+}
+
+double CutBandwidth(const CommunicationGraph& traffic,
+                    const std::vector<SwitchId>& attachment) {
+  double cut = 0.0;
+  for (std::size_t i = 0; i < traffic.FlowCount(); ++i) {
+    const Flow& f = traffic.FlowAt(FlowId(i));
+    if (attachment[f.src.value()] != attachment[f.dst.value()]) {
+      cut += f.bandwidth_mbps;
+    }
+  }
+  return cut;
+}
+
+}  // namespace nocdr

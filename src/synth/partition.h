@@ -1,0 +1,37 @@
+// Core-to-switch partitioning.
+//
+// First stage of application-specific topology synthesis (standing in for
+// the tool of Murali et al., ICCAD 2006): distribute the cores over a
+// given number of switches so that heavily-communicating cores share a
+// switch. Greedy seeding by descending communication volume followed by a
+// Kernighan-Lin style pairwise-swap refinement; fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/traffic.h"
+#include "util/ids.h"
+
+namespace nocdr {
+
+struct PartitionOptions {
+  /// Maximum cores per switch; 0 means ceil(cores / switches).
+  std::size_t max_cores_per_switch = 0;
+  /// Number of full refinement sweeps over all core pairs.
+  std::size_t refinement_passes = 2;
+};
+
+/// Returns attachment[core] = switch, using exactly \p switch_count
+/// switches (every switch receives at least one core when
+/// switch_count <= core count; throws otherwise).
+std::vector<SwitchId> PartitionCores(const CommunicationGraph& traffic,
+                                     std::size_t switch_count,
+                                     const PartitionOptions& options = {});
+
+/// Total bandwidth between cores mapped to different switches; the
+/// quantity partitioning minimizes (lower = less NoC traffic).
+double CutBandwidth(const CommunicationGraph& traffic,
+                    const std::vector<SwitchId>& attachment);
+
+}  // namespace nocdr

@@ -1,0 +1,108 @@
+#include "synth/route_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  std::uint32_t node;
+
+  bool operator>(const QueueEntry& other) const {
+    if (dist != other.dist) {
+      return dist > other.dist;
+    }
+    return node > other.node;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+RouteSet BuildRoutes(const TopologyGraph& topology,
+                     const CommunicationGraph& traffic,
+                     const std::vector<SwitchId>& attachment,
+                     const RouteBuildOptions& options) {
+  Require(attachment.size() == traffic.CoreCount(),
+          "BuildRoutes: attachment incomplete");
+  RouteSet routes(traffic.FlowCount());
+  std::vector<double> committed(topology.LinkCount(), 0.0);
+
+  // Heaviest flows first: they get the short paths, lighter flows detour.
+  std::vector<std::size_t> order(traffic.FlowCount());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return traffic.FlowAt(FlowId(a)).bandwidth_mbps >
+                            traffic.FlowAt(FlowId(b)).bandwidth_mbps;
+                   });
+
+  const std::size_t n = topology.SwitchCount();
+  for (std::size_t fi : order) {
+    const FlowId f(fi);
+    const Flow& flow = traffic.FlowAt(f);
+    const SwitchId src = attachment[flow.src.value()];
+    const SwitchId dst = attachment[flow.dst.value()];
+    if (src == dst) {
+      routes.SetRoute(f, {});  // local to one switch; no channels used
+      continue;
+    }
+
+    // Dijkstra from src to dst over physical links.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(n, kInf);
+    std::vector<LinkId> via(n);  // incoming link on the best path
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    dist[src.value()] = 0.0;
+    queue.push(QueueEntry{0.0, src.value()});
+    while (!queue.empty()) {
+      const QueueEntry top = queue.top();
+      queue.pop();
+      if (top.dist > dist[top.node]) {
+        continue;
+      }
+      if (SwitchId(top.node) == dst) {
+        break;
+      }
+      for (LinkId l : topology.OutLinks(SwitchId(top.node))) {
+        const Link& link = topology.LinkAt(l);
+        const double penalty =
+            options.congestion_weight *
+            (committed[l.value()] / options.link_capacity_mbps);
+        const double candidate = top.dist + 1.0 + penalty;
+        if (candidate + 1e-12 < dist[link.dst.value()]) {
+          dist[link.dst.value()] = candidate;
+          via[link.dst.value()] = l;
+          queue.push(QueueEntry{candidate, link.dst.value()});
+        }
+      }
+    }
+    Require(dist[dst.value()] != kInf,
+            "BuildRoutes: no path between switches of flow " +
+                std::to_string(fi));
+
+    // Walk back along `via`, emitting the VC-0 channel of each link.
+    Route route;
+    for (SwitchId cur = dst; cur != src;) {
+      const LinkId l = via[cur.value()];
+      auto channel = topology.FindChannel(l, 0);
+      Require(channel.has_value(), "BuildRoutes: link missing VC 0");
+      route.push_back(*channel);
+      committed[l.value()] += flow.bandwidth_mbps;
+      cur = topology.LinkAt(l).src;
+    }
+    std::reverse(route.begin(), route.end());
+    routes.SetRoute(f, std::move(route));
+  }
+  return routes;
+}
+
+}  // namespace nocdr

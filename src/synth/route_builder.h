@@ -1,0 +1,37 @@
+// Static route computation over the synthesized switch topology.
+//
+// Congestion-aware Dijkstra: flows are routed heaviest-first; each link's
+// weight is 1 (hop) plus a penalty proportional to the bandwidth already
+// committed to it relative to its capacity. Heavier traffic therefore
+// spreads across parallel paths, which produces the irregular multi-path
+// route sets on which cyclic channel dependencies arise — the situation
+// the paper's algorithm exists to fix. Every route uses VC 0 of each link
+// (the implicit channel); VCs beyond that are added only by the deadlock
+// handling methods.
+#pragma once
+
+#include <vector>
+
+#include "noc/design.h"
+#include "noc/routing.h"
+#include "noc/topology.h"
+#include "noc/traffic.h"
+
+namespace nocdr {
+
+struct RouteBuildOptions {
+  /// Nominal link capacity (MB/s) for the congestion penalty.
+  double link_capacity_mbps = 1600.0;
+  /// Weight of the congestion term relative to a hop; 0 disables
+  /// load-aware routing (pure shortest path).
+  double congestion_weight = 2.0;
+};
+
+/// Computes a route for every flow of \p traffic over \p topology.
+/// Throws InvalidModelError if some flow's endpoints are not connected.
+RouteSet BuildRoutes(const TopologyGraph& topology,
+                     const CommunicationGraph& traffic,
+                     const std::vector<SwitchId>& attachment,
+                     const RouteBuildOptions& options = {});
+
+}  // namespace nocdr

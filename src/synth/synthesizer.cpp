@@ -1,0 +1,21 @@
+#include "synth/synthesizer.h"
+
+namespace nocdr {
+
+NocDesign SynthesizeDesign(const CommunicationGraph& traffic,
+                           const std::string& name, std::size_t switch_count,
+                           const SynthesisOptions& options) {
+  NocDesign design;
+  design.name = name + "@" + std::to_string(switch_count) + "sw";
+  design.traffic = traffic;
+  design.attachment =
+      PartitionCores(traffic, switch_count, options.partition);
+  design.topology = BuildSwitchTopology(traffic, design.attachment,
+                                        switch_count, options.topology);
+  design.routes = BuildRoutes(design.topology, traffic, design.attachment,
+                              options.routing);
+  design.Validate();
+  return design;
+}
+
+}  // namespace nocdr

@@ -1,0 +1,142 @@
+#include "synth/topology_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+std::vector<std::vector<double>> InterSwitchDemand(
+    const CommunicationGraph& traffic, const std::vector<SwitchId>& attachment,
+    std::size_t switch_count) {
+  std::vector<std::vector<double>> demand(
+      switch_count, std::vector<double>(switch_count, 0.0));
+  for (std::size_t i = 0; i < traffic.FlowCount(); ++i) {
+    const Flow& f = traffic.FlowAt(FlowId(i));
+    const std::size_t s = attachment[f.src.value()].value();
+    const std::size_t t = attachment[f.dst.value()].value();
+    if (s != t) {
+      demand[s][t] += f.bandwidth_mbps;
+    }
+  }
+  return demand;
+}
+
+namespace {
+
+/// Union-find for the maximum spanning tree.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) {
+      return false;
+    }
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct CandidateEdge {
+  std::size_t s;
+  std::size_t t;
+  double weight;
+};
+
+}  // namespace
+
+TopologyGraph BuildSwitchTopology(const CommunicationGraph& traffic,
+                                  const std::vector<SwitchId>& attachment,
+                                  std::size_t switch_count,
+                                  const TopologyBuildOptions& options) {
+  Require(switch_count >= 1, "BuildSwitchTopology: no switches");
+  TopologyGraph topology;
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    topology.AddSwitch("SW" + std::to_string(s));
+  }
+  if (switch_count == 1) {
+    return topology;  // single switch: all traffic is local
+  }
+
+  const auto demand = InterSwitchDemand(traffic, attachment, switch_count);
+
+  // Undirected candidate edges weighted by total demand both ways.
+  std::vector<CandidateEdge> undirected;
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    for (std::size_t t = s + 1; t < switch_count; ++t) {
+      undirected.push_back(
+          CandidateEdge{s, t, demand[s][t] + demand[t][s]});
+    }
+  }
+  // Maximum spanning tree: sort by descending weight; stable + index
+  // tie-break keeps the construction deterministic.
+  std::stable_sort(undirected.begin(), undirected.end(),
+                   [](const CandidateEdge& a, const CandidateEdge& b) {
+                     return a.weight > b.weight;
+                   });
+
+  std::vector<std::size_t> degree(switch_count, 0);
+  auto add_bidir = [&](std::size_t s, std::size_t t) {
+    topology.AddLink(SwitchId(s), SwitchId(t));
+    topology.AddLink(SwitchId(t), SwitchId(s));
+    degree[s] += 2;
+    degree[t] += 2;
+  };
+
+  DisjointSets forest(switch_count);
+  for (const CandidateEdge& e : undirected) {
+    if (forest.Union(e.s, e.t)) {
+      add_bidir(e.s, e.t);
+    }
+  }
+
+  // Shortcut links: heaviest directed demands not yet served by a direct
+  // link, subject to the per-switch degree budget.
+  std::vector<CandidateEdge> directed;
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    for (std::size_t t = 0; t < switch_count; ++t) {
+      if (s != t && demand[s][t] > 0.0 &&
+          !topology.FindLink(SwitchId(s), SwitchId(t))) {
+        directed.push_back(CandidateEdge{s, t, demand[s][t]});
+      }
+    }
+  }
+  std::stable_sort(directed.begin(), directed.end(),
+                   [](const CandidateEdge& a, const CandidateEdge& b) {
+                     return a.weight > b.weight;
+                   });
+  std::size_t budget = static_cast<std::size_t>(
+      options.shortcut_factor * static_cast<double>(switch_count));
+  for (const CandidateEdge& e : directed) {
+    if (budget == 0) {
+      break;
+    }
+    if (degree[e.s] + 1 > options.max_switch_degree ||
+        degree[e.t] + 1 > options.max_switch_degree) {
+      continue;
+    }
+    topology.AddLink(SwitchId(e.s), SwitchId(e.t));
+    ++degree[e.s];
+    ++degree[e.t];
+    --budget;
+  }
+
+  return topology;
+}
+
+}  // namespace nocdr

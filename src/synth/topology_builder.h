@@ -1,0 +1,42 @@
+// Switch-level topology construction.
+//
+// Second stage of application-specific synthesis: given the core
+// partition, build the directed switch graph. A maximum-bandwidth
+// spanning tree guarantees connectivity (links added in both directions);
+// additional direct links are then opened for the heaviest inter-switch
+// demands, subject to a per-switch degree budget — exactly the kind of
+// link-count-constrained irregular topology the paper targets (cf. its
+// discussion of [21], where technology limits the number of links).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/topology.h"
+#include "noc/traffic.h"
+#include "util/ids.h"
+
+namespace nocdr {
+
+struct TopologyBuildOptions {
+  /// Maximum number of switch-to-switch links (in + out) per switch.
+  std::size_t max_switch_degree = 8;
+  /// Shortcut links to add beyond the spanning tree, as a fraction of the
+  /// switch count (rounded down). Denser traffic benefits from more.
+  double shortcut_factor = 1.0;
+};
+
+/// Builds the directed switch topology for \p switch_count switches given
+/// \p attachment (from PartitionCores) and the traffic. Switch names are
+/// "SW<i>". Every inter-switch flow has a directed path by construction.
+TopologyGraph BuildSwitchTopology(const CommunicationGraph& traffic,
+                                  const std::vector<SwitchId>& attachment,
+                                  std::size_t switch_count,
+                                  const TopologyBuildOptions& options = {});
+
+/// Demand matrix helper: total bandwidth from switch s to switch t.
+std::vector<std::vector<double>> InterSwitchDemand(
+    const CommunicationGraph& traffic, const std::vector<SwitchId>& attachment,
+    std::size_t switch_count);
+
+}  // namespace nocdr

@@ -1,0 +1,31 @@
+// Exception types and invariant-checking helpers used across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nocdr {
+
+/// Raised when an input model violates a structural precondition
+/// (dangling ids, discontiguous routes, malformed graphs, ...).
+class InvalidModelError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Raised when an algorithm exceeds a safety bound (e.g. the deadlock
+/// removal iteration cap). Indicates a heuristic livelock, never observed
+/// on well-formed inputs but guarded against.
+class AlgorithmLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws InvalidModelError with \p message unless \p condition holds.
+inline void Require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw InvalidModelError(message);
+  }
+}
+
+}  // namespace nocdr

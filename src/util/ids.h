@@ -1,0 +1,119 @@
+// Strongly-typed integer identifiers for the NoC object model.
+//
+// Every entity in the library (switch, core, physical link, channel, flow)
+// is referred to by a small dense integer index into the owning container.
+// Raw std::size_t indices are easy to mix up across entity kinds, so each
+// kind gets its own wrapper type. The wrappers are trivially copyable,
+// totally ordered and hashable, and support explicit round-trips to the
+// underlying integer via value().
+#pragma once
+
+#include <compare>
+#include <type_traits>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace nocdr {
+
+/// CRTP base for a strongly-typed dense index.
+///
+/// \tparam Tag  The derived identifier type (e.g. SwitchId); used only to
+///              make distinct instantiations incompatible with each other.
+template <typename Tag>
+class DenseId {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel for "no object"; default construction yields an invalid id.
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+
+  constexpr DenseId() = default;
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  constexpr explicit DenseId(Int v) : value_(static_cast<value_type>(v)) {}
+
+  /// The raw index. Only meaningful for valid ids.
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(DenseId, DenseId) = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, DenseId<Tag> id) {
+  if (id.valid()) {
+    return os << id.value();
+  }
+  return os << "<invalid>";
+}
+
+/// Identifier of a switch (router) in the topology graph.
+struct SwitchId : DenseId<SwitchId> {
+  using DenseId::DenseId;
+};
+
+/// Identifier of a core (IP block) in the communication graph.
+struct CoreId : DenseId<CoreId> {
+  using DenseId::DenseId;
+};
+
+/// Identifier of a directed physical link between two switches.
+struct LinkId : DenseId<LinkId> {
+  using DenseId::DenseId;
+};
+
+/// Identifier of a channel: one (physical link, virtual channel) pair.
+/// Channels are the vertices of the channel dependency graph.
+struct ChannelId : DenseId<ChannelId> {
+  using DenseId::DenseId;
+};
+
+/// Identifier of a communication flow (edge of the communication graph).
+struct FlowId : DenseId<FlowId> {
+  using DenseId::DenseId;
+};
+
+}  // namespace nocdr
+
+namespace std {
+
+template <>
+struct hash<nocdr::SwitchId> {
+  size_t operator()(nocdr::SwitchId id) const noexcept {
+    return std::hash<nocdr::SwitchId::value_type>{}(id.value());
+  }
+};
+template <>
+struct hash<nocdr::CoreId> {
+  size_t operator()(nocdr::CoreId id) const noexcept {
+    return std::hash<nocdr::CoreId::value_type>{}(id.value());
+  }
+};
+template <>
+struct hash<nocdr::LinkId> {
+  size_t operator()(nocdr::LinkId id) const noexcept {
+    return std::hash<nocdr::LinkId::value_type>{}(id.value());
+  }
+};
+template <>
+struct hash<nocdr::ChannelId> {
+  size_t operator()(nocdr::ChannelId id) const noexcept {
+    return std::hash<nocdr::ChannelId::value_type>{}(id.value());
+  }
+};
+template <>
+struct hash<nocdr::FlowId> {
+  size_t operator()(nocdr::FlowId id) const noexcept {
+    return std::hash<nocdr::FlowId::value_type>{}(id.value());
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nocdr {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<std::size_t> ColumnWidths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::size_t columns = header.size();
+  for (const auto& row : rows) {
+    columns = std::max(columns, row.size());
+  }
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = std::max(widths[c], header[c].size());
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void PrintAligned(std::ostream& os, const std::vector<std::string>& row,
+                  const std::vector<std::size_t>& widths) {
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string cell = c < row.size() ? row[c] : std::string();
+    os << (c == 0 ? "| " : " | ");
+    os << cell << std::string(widths[c] - cell.size(), ' ');
+  }
+  os << " |\n";
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::Print(std::ostream& os) const {
+  const auto widths = ColumnWidths(header_, rows_);
+  if (!header_.empty()) {
+    PrintAligned(os, header_, widths);
+    std::size_t total = 1;
+    for (std::size_t w : widths) {
+      total += w + 3;
+    }
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) {
+    PrintAligned(os, row, widths);
+  }
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << ',';
+      }
+      os << CsvEscape(row[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace nocdr

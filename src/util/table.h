@@ -1,0 +1,40 @@
+// Plain-text and CSV table rendering for benchmark harness output.
+//
+// Every experiment binary prints the series the paper reports; this helper
+// keeps the formatting uniform: fixed-width aligned console tables plus an
+// optional CSV dump for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nocdr {
+
+/// Accumulates rows of string cells and renders them aligned.
+class TextTable {
+ public:
+  /// Sets the header row (column titles).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; ragged rows are allowed and padded on render.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t RowCount() const { return rows_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats \p value with \p digits digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace nocdr

@@ -1,0 +1,115 @@
+// Unit tests for the synthetic SoC benchmark suite.
+#include "soc/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nocdr {
+namespace {
+
+TEST(BenchmarksTest, CoreCountsMatchTheirNames) {
+  EXPECT_EQ(MakeBenchmark(SocBenchmarkId::kD26Media).traffic.CoreCount(),
+            26u);
+  EXPECT_EQ(MakeBenchmark(SocBenchmarkId::kD36_4).traffic.CoreCount(), 36u);
+  EXPECT_EQ(MakeBenchmark(SocBenchmarkId::kD36_6).traffic.CoreCount(), 36u);
+  EXPECT_EQ(MakeBenchmark(SocBenchmarkId::kD36_8).traffic.CoreCount(), 36u);
+  EXPECT_EQ(MakeBenchmark(SocBenchmarkId::kD35Bot).traffic.CoreCount(), 35u);
+  EXPECT_EQ(MakeBenchmark(SocBenchmarkId::kD38Tvo).traffic.CoreCount(), 38u);
+}
+
+TEST(BenchmarksTest, Names) {
+  EXPECT_EQ(BenchmarkName(SocBenchmarkId::kD26Media), "D26_media");
+  EXPECT_EQ(BenchmarkName(SocBenchmarkId::kD36_8), "D36_8");
+  EXPECT_EQ(BenchmarkName(SocBenchmarkId::kD35Bot), "D35_bot");
+  EXPECT_EQ(BenchmarkName(SocBenchmarkId::kD38Tvo), "D38_tvo");
+}
+
+class D36FanoutSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(D36FanoutSweep, EveryCoreSendsToExactlyKOthers) {
+  const std::size_t k = GetParam();
+  const auto b = MakeD36WithFanout(k);
+  EXPECT_EQ(b.traffic.FlowCount(), 36u * k);
+  for (std::size_t core = 0; core < 36; ++core) {
+    const auto& out = b.traffic.OutFlows(CoreId(core));
+    EXPECT_EQ(out.size(), k) << "core " << core;
+    // Destinations must be distinct.
+    std::set<std::uint32_t> dests;
+    for (FlowId f : out) {
+      dests.insert(b.traffic.FlowAt(f).dst.value());
+    }
+    EXPECT_EQ(dests.size(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, D36FanoutSweep,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+TEST(BenchmarksTest, D36FanoutsNest) {
+  // D36_8's flow set should contain D36_4's destinations (same strides).
+  const auto b4 = MakeBenchmark(SocBenchmarkId::kD36_4);
+  const auto b8 = MakeBenchmark(SocBenchmarkId::kD36_8);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs8;
+  for (std::size_t f = 0; f < b8.traffic.FlowCount(); ++f) {
+    const Flow& flow = b8.traffic.FlowAt(FlowId(f));
+    pairs8.emplace(flow.src.value(), flow.dst.value());
+  }
+  for (std::size_t f = 0; f < b4.traffic.FlowCount(); ++f) {
+    const Flow& flow = b4.traffic.FlowAt(FlowId(f));
+    EXPECT_TRUE(pairs8.contains({flow.src.value(), flow.dst.value()}));
+  }
+}
+
+TEST(BenchmarksTest, Deterministic) {
+  for (auto id : AllBenchmarkIds()) {
+    const auto a = MakeBenchmark(id);
+    const auto b = MakeBenchmark(id);
+    ASSERT_EQ(a.traffic.FlowCount(), b.traffic.FlowCount()) << a.name;
+    for (std::size_t f = 0; f < a.traffic.FlowCount(); ++f) {
+      const Flow& fa = a.traffic.FlowAt(FlowId(f));
+      const Flow& fb = b.traffic.FlowAt(FlowId(f));
+      EXPECT_EQ(fa.src, fb.src);
+      EXPECT_EQ(fa.dst, fb.dst);
+      EXPECT_DOUBLE_EQ(fa.bandwidth_mbps, fb.bandwidth_mbps);
+    }
+  }
+}
+
+TEST(BenchmarksTest, AllBandwidthsPositive) {
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    for (std::size_t f = 0; f < b.traffic.FlowCount(); ++f) {
+      EXPECT_GT(b.traffic.FlowAt(FlowId(f)).bandwidth_mbps, 0.0)
+          << b.name << " flow " << f;
+    }
+  }
+}
+
+TEST(BenchmarksTest, MediaBenchmarkHasHubStructure) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  // The ARM and DRAM hubs must be the most connected cores.
+  std::size_t dram_degree = 0, arm_degree = 0, max_degree = 0;
+  for (std::size_t c = 0; c < b.traffic.CoreCount(); ++c) {
+    const std::size_t degree = b.traffic.OutFlows(CoreId(c)).size() +
+                               b.traffic.InFlows(CoreId(c)).size();
+    max_degree = std::max(max_degree, degree);
+    if (b.traffic.CoreName(CoreId(c)) == "dram") {
+      dram_degree = degree;
+    }
+    if (b.traffic.CoreName(CoreId(c)) == "arm") {
+      arm_degree = degree;
+    }
+  }
+  EXPECT_EQ(std::max(arm_degree, dram_degree), max_degree);
+  EXPECT_GE(dram_degree, 6u);
+  EXPECT_GE(arm_degree, 6u);
+}
+
+TEST(BenchmarksTest, AllIdsEnumerated) {
+  EXPECT_EQ(AllBenchmarkIds().size(), 6u);
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,101 @@
+// Unit tests for channel dependency graph construction.
+#include "cdg/cdg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.h"
+
+namespace nocdr {
+namespace {
+
+TEST(CdgTest, PaperExampleStructure) {
+  auto ex = testing::MakePaperExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  EXPECT_EQ(cdg.VertexCount(), 4u);
+  // Figure 2: edges L1->L2, L2->L3, L3->L4, L4->L1.
+  EXPECT_EQ(cdg.EdgeCount(), 4u);
+  EXPECT_TRUE(cdg.FindEdge(ex.c1, ex.c2).has_value());
+  EXPECT_TRUE(cdg.FindEdge(ex.c2, ex.c3).has_value());
+  EXPECT_TRUE(cdg.FindEdge(ex.c3, ex.c4).has_value());
+  EXPECT_TRUE(cdg.FindEdge(ex.c4, ex.c1).has_value());
+  EXPECT_FALSE(cdg.FindEdge(ex.c1, ex.c3).has_value());
+}
+
+TEST(CdgTest, EdgeFlowAnnotations) {
+  auto ex = testing::MakePaperExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  // L1->L2 is created by F1 and F4.
+  const auto& e12 = cdg.EdgeAt(*cdg.FindEdge(ex.c1, ex.c2));
+  EXPECT_EQ(e12.flows, (std::vector<FlowId>{ex.f1, ex.f4}));
+  // L2->L3 only by F1.
+  const auto& e23 = cdg.EdgeAt(*cdg.FindEdge(ex.c2, ex.c3));
+  EXPECT_EQ(e23.flows, std::vector<FlowId>{ex.f1});
+  // L4->L1 only by F3.
+  const auto& e41 = cdg.EdgeAt(*cdg.FindEdge(ex.c4, ex.c1));
+  EXPECT_EQ(e41.flows, std::vector<FlowId>{ex.f3});
+}
+
+TEST(CdgTest, Successors) {
+  auto ex = testing::MakePaperExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  EXPECT_EQ(cdg.Successors(ex.c1), std::vector<ChannelId>{ex.c2});
+  EXPECT_EQ(cdg.Successors(ex.c4), std::vector<ChannelId>{ex.c1});
+}
+
+TEST(CdgTest, EmptyDesignHasEmptyCdg) {
+  NocDesign d;
+  d.name = "empty";
+  const auto cdg = ChannelDependencyGraph::Build(d);
+  EXPECT_EQ(cdg.VertexCount(), 0u);
+  EXPECT_EQ(cdg.EdgeCount(), 0u);
+}
+
+TEST(CdgTest, SingleHopRoutesCreateNoEdges) {
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch(), b = d.topology.AddSwitch();
+  d.topology.AddLink(a, b);
+  const CoreId ca = d.traffic.AddCore(), cb = d.traffic.AddCore();
+  d.attachment = {a, b};
+  const FlowId f = d.traffic.AddFlow(ca, cb, 10.0);
+  d.routes.Resize(1);
+  d.routes.SetRoute(f, {*d.topology.FindChannel(LinkId(0u), 0)});
+  d.Validate();
+  const auto cdg = ChannelDependencyGraph::Build(d);
+  EXPECT_EQ(cdg.VertexCount(), 1u);
+  EXPECT_EQ(cdg.EdgeCount(), 0u);
+}
+
+TEST(CdgTest, VertexCountTracksAllChannelsIncludingUnused) {
+  auto ex = testing::MakePaperExample();
+  ex.design.topology.AddVirtualChannel(ex.l1);
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  EXPECT_EQ(cdg.VertexCount(), 5u);  // new VC is a vertex with no edges
+  EXPECT_EQ(cdg.EdgeCount(), 4u);
+}
+
+TEST(CdgTest, DuplicateTraversalsRecordFlowOnce) {
+  // Two parallel flows over the same 2-hop path: one edge, two flows.
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch(), b = d.topology.AddSwitch(),
+                 c = d.topology.AddSwitch();
+  const LinkId ab = d.topology.AddLink(a, b);
+  const LinkId bc = d.topology.AddLink(b, c);
+  const CoreId ca = d.traffic.AddCore(), cc = d.traffic.AddCore();
+  d.attachment = {a, c};
+  const Route route = {*d.topology.FindChannel(ab, 0),
+                       *d.topology.FindChannel(bc, 0)};
+  const FlowId f1 = d.traffic.AddFlow(ca, cc, 1.0);
+  const FlowId f2 = d.traffic.AddFlow(ca, cc, 2.0);
+  d.routes.Resize(2);
+  d.routes.SetRoute(f1, route);
+  d.routes.SetRoute(f2, route);
+  d.Validate();
+  const auto cdg = ChannelDependencyGraph::Build(d);
+  EXPECT_EQ(cdg.EdgeCount(), 1u);
+  EXPECT_EQ(cdg.EdgeAt(0).flows, (std::vector<FlowId>{f1, f2}));
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,170 @@
+// Unit tests for cycle detection on the CDG.
+#include "cdg/cycle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.h"
+
+namespace nocdr {
+namespace {
+
+/// Checks that `cycle` is a genuine cycle of `graph`.
+void ExpectIsCycle(const ChannelDependencyGraph& graph,
+                   const CdgCycle& cycle) {
+  ASSERT_FALSE(cycle.empty());
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const ChannelId from = cycle[i];
+    const ChannelId to = cycle[(i + 1) % cycle.size()];
+    EXPECT_TRUE(graph.FindEdge(from, to).has_value())
+        << "missing edge " << from.value() << "->" << to.value();
+  }
+}
+
+TEST(CycleTest, PaperExampleHasFourCycle) {
+  auto ex = testing::MakePaperExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  EXPECT_FALSE(IsAcyclic(cdg));
+  const auto cycle = SmallestCycle(cdg);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 4u);
+  ExpectIsCycle(cdg, *cycle);
+}
+
+TEST(CycleTest, AcyclicAfterRemovingOneRoute) {
+  auto ex = testing::MakePaperExample();
+  // Drop F3 (the L4->L1 dependency): the ring no longer closes.
+  ex.design.routes.SetRoute(ex.f3, {ex.c4});
+  // Fix attachment: route {L4} ends at SW1, but dst3 is at SW2; rebuild
+  // the design consistently by re-homing the destination core.
+  ex.design.attachment[5] = SwitchId(0u);  // dst3 -> SW1
+  ex.design.Validate();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  EXPECT_TRUE(IsAcyclic(cdg));
+  EXPECT_FALSE(SmallestCycle(cdg).has_value());
+  EXPECT_FALSE(FirstCycle(cdg).has_value());
+  EXPECT_FALSE(LargestShortestCycle(cdg).has_value());
+}
+
+TEST(CycleTest, ShortestCycleThroughSpecificVertex) {
+  auto ex = testing::MakePaperExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  const auto cycle = ShortestCycleThrough(cdg, ex.c2);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 4u);
+  EXPECT_EQ(cycle->front(), ex.c2);
+}
+
+TEST(CycleTest, VertexNotOnCycle) {
+  // Chain a->b->c plus cycle among d,e: starting from a finds nothing.
+  NocDesign d;
+  const SwitchId s0 = d.topology.AddSwitch(), s1 = d.topology.AddSwitch(),
+                 s2 = d.topology.AddSwitch();
+  const LinkId l01 = d.topology.AddLink(s0, s1);
+  const LinkId l12 = d.topology.AddLink(s1, s2);
+  const LinkId l20 = d.topology.AddLink(s2, s0);
+  const ChannelId c01 = *d.topology.FindChannel(l01, 0);
+  const ChannelId c12 = *d.topology.FindChannel(l12, 0);
+  const ChannelId c20 = *d.topology.FindChannel(l20, 0);
+  const CoreId x = d.traffic.AddCore(), y = d.traffic.AddCore(),
+               z = d.traffic.AddCore();
+  d.attachment = {s1, s0, s1};
+  // Flow x(s1)->y(s0): route {l12, l20}; flow z(s1)->... build a 2-cycle
+  // between c12 and c20 plus a pendant c01.
+  const FlowId f1 = d.traffic.AddFlow(x, y, 1.0);
+  const FlowId f2 = d.traffic.AddFlow(y, z, 1.0);
+  d.routes.Resize(2);
+  d.routes.SetRoute(f1, {c12, c20});
+  d.routes.SetRoute(f2, {c01});
+  d.Validate();
+  const auto cdg = ChannelDependencyGraph::Build(d);
+  // c12 -> c20 only; no cycle anywhere.
+  EXPECT_TRUE(IsAcyclic(cdg));
+  EXPECT_FALSE(ShortestCycleThrough(cdg, c01).has_value());
+  EXPECT_FALSE(ShortestCycleThrough(cdg, c12).has_value());
+}
+
+TEST(CycleTest, SmallestOfTwoCycles) {
+  // Ring of 6 switches: flows induce a 2-cycle (via a reverse link) and
+  // the big 6-cycle; SmallestCycle must return the 2-cycle.
+  NocDesign d;
+  std::vector<SwitchId> sw;
+  for (int i = 0; i < 6; ++i) {
+    sw.push_back(d.topology.AddSwitch());
+  }
+  std::vector<ChannelId> fwd;
+  for (int i = 0; i < 6; ++i) {
+    const LinkId l = d.topology.AddLink(sw[i], sw[(i + 1) % 6]);
+    fwd.push_back(*d.topology.FindChannel(l, 0));
+  }
+  const LinkId back = d.topology.AddLink(sw[1], sw[0]);
+  const ChannelId cback = *d.topology.FindChannel(back, 0);
+
+  std::vector<CoreId> cores;
+  for (int i = 0; i < 6; ++i) {
+    cores.push_back(d.traffic.AddCore());
+    d.attachment.push_back(sw[i]);
+  }
+  std::vector<Route> routes;
+  std::vector<FlowId> flows;
+  // Big ring cycle: each core i sends 2 hops forward, so consecutive
+  // forward channels depend on each other all the way around.
+  for (int i = 0; i < 6; ++i) {
+    flows.push_back(d.traffic.AddFlow(cores[i], cores[(i + 2) % 6], 1.0));
+    routes.push_back({fwd[i], fwd[(i + 1) % 6]});
+  }
+  // 2-cycle between fwd[0] (sw0->sw1) and `back` (sw1->sw0): one flow
+  // bounces sw1->sw0->sw1, another sw0->sw1->sw0, using dedicated cores.
+  const CoreId p = d.traffic.AddCore("p");
+  const CoreId q = d.traffic.AddCore("q");
+  d.attachment.push_back(sw[1]);
+  d.attachment.push_back(sw[1]);
+  flows.push_back(d.traffic.AddFlow(p, q, 1.0));
+  routes.push_back({cback, fwd[0]});
+  const CoreId r = d.traffic.AddCore("r");
+  const CoreId s = d.traffic.AddCore("s");
+  d.attachment.push_back(sw[0]);
+  d.attachment.push_back(sw[0]);
+  flows.push_back(d.traffic.AddFlow(r, s, 1.0));
+  routes.push_back({fwd[0], cback});
+
+  d.routes.Resize(d.traffic.FlowCount());
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    d.routes.SetRoute(flows[i], routes[i]);
+  }
+  d.Validate();
+
+  const auto cdg = ChannelDependencyGraph::Build(d);
+  const auto smallest = SmallestCycle(cdg);
+  ASSERT_TRUE(smallest.has_value());
+  EXPECT_EQ(smallest->size(), 2u);
+  ExpectIsCycle(cdg, *smallest);
+
+  const auto largest = LargestShortestCycle(cdg);
+  ASSERT_TRUE(largest.has_value());
+  EXPECT_EQ(largest->size(), 6u);
+  ExpectIsCycle(cdg, *largest);
+}
+
+TEST(CycleTest, FirstCycleIsValidCycle) {
+  auto ex = testing::MakePaperExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  const auto cycle = FirstCycle(cdg);
+  ASSERT_TRUE(cycle.has_value());
+  ExpectIsCycle(cdg, *cycle);
+}
+
+TEST(CycleTest, RingDesignsOfManySizes) {
+  for (std::size_t n : {3u, 4u, 5u, 8u, 12u}) {
+    auto d = testing::MakeRingDesign(n, 2);
+    const auto cdg = ChannelDependencyGraph::Build(d);
+    EXPECT_FALSE(IsAcyclic(cdg)) << "ring " << n;
+    const auto cycle = SmallestCycle(cdg);
+    ASSERT_TRUE(cycle.has_value()) << "ring " << n;
+    EXPECT_EQ(cycle->size(), n) << "ring " << n;
+  }
+}
+
+}  // namespace
+}  // namespace nocdr

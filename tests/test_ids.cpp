@@ -1,0 +1,69 @@
+// Unit tests for the strongly-typed identifier wrappers.
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace nocdr {
+namespace {
+
+TEST(DenseIdTest, DefaultConstructedIsInvalid) {
+  SwitchId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(DenseIdTest, ExplicitValueIsValid) {
+  SwitchId id(7u);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(DenseIdTest, SizeTConstructorNarrows) {
+  std::size_t raw = 42;
+  LinkId id(raw);
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(DenseIdTest, EqualityAndOrdering) {
+  ChannelId a(1u), b(2u), c(1u);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, c);
+}
+
+TEST(DenseIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_convertible_v<SwitchId, CoreId>);
+  static_assert(!std::is_convertible_v<LinkId, ChannelId>);
+  SUCCEED();
+}
+
+TEST(DenseIdTest, HashSupportsUnorderedContainers) {
+  std::unordered_set<FlowId> set;
+  set.insert(FlowId(1u));
+  set.insert(FlowId(2u));
+  set.insert(FlowId(1u));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(FlowId(2u)));
+}
+
+TEST(DenseIdTest, StreamOutputValid) {
+  std::ostringstream os;
+  os << CoreId(5u);
+  EXPECT_EQ(os.str(), "5");
+}
+
+TEST(DenseIdTest, StreamOutputInvalid) {
+  std::ostringstream os;
+  os << CoreId();
+  EXPECT_EQ(os.str(), "<invalid>");
+}
+
+TEST(DenseIdTest, InvalidSentinelDoesNotCompareEqualToRealIds) {
+  EXPECT_NE(SwitchId(), SwitchId(0u));
+}
+
+}  // namespace
+}  // namespace nocdr

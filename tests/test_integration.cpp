@@ -1,0 +1,151 @@
+// Cross-module integration tests: benchmark -> synthesis -> deadlock
+// handling -> power model -> wormhole simulation.
+#include <gtest/gtest.h>
+
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "power/model.h"
+#include "sim/simulator.h"
+#include "soc/benchmarks.h"
+#include "synth/synthesizer.h"
+
+namespace nocdr {
+namespace {
+
+SimConfig StressConfig() {
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kFixedCount;
+  cfg.traffic.packets_per_flow = 3;
+  cfg.traffic.packet_length = 8;
+  cfg.buffer_depth = 2;
+  cfg.max_cycles = 400000;
+  cfg.stall_threshold = 3000;
+  return cfg;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SocBenchmarkId> {};
+
+TEST_P(PipelineSweep, RemovalThenSimulationCompletes) {
+  const auto b = MakeBenchmark(GetParam());
+  auto design = SynthesizeDesign(b.traffic, b.name, 12);
+  RemoveDeadlocks(design);
+  ASSERT_TRUE(IsDeadlockFree(design));
+  const auto result = SimulateWorkload(design, StressConfig());
+  EXPECT_FALSE(result.deadlocked) << b.name;
+  EXPECT_TRUE(result.AllDelivered()) << b.name;
+}
+
+TEST_P(PipelineSweep, ResourceOrderingThenSimulationCompletes) {
+  const auto b = MakeBenchmark(GetParam());
+  auto design = SynthesizeDesign(b.traffic, b.name, 12);
+  ApplyResourceOrdering(design);
+  ASSERT_TRUE(IsDeadlockFree(design));
+  const auto result = SimulateWorkload(design, StressConfig());
+  EXPECT_FALSE(result.deadlocked) << b.name;
+  EXPECT_TRUE(result.AllDelivered()) << b.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineSweep,
+                         ::testing::Values(SocBenchmarkId::kD26Media,
+                                           SocBenchmarkId::kD36_4,
+                                           SocBenchmarkId::kD36_6,
+                                           SocBenchmarkId::kD36_8,
+                                           SocBenchmarkId::kD35Bot,
+                                           SocBenchmarkId::kD38Tvo));
+
+TEST(IntegrationTest, DeadlockProneDesignFreezesWithoutTreatment) {
+  // Find a synthesized design with a cyclic CDG and demonstrate the
+  // freeze in simulation — the experiment motivating the whole paper.
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  bool demonstrated = false;
+  for (std::size_t switches : {10u, 14u, 18u, 22u, 26u, 30u}) {
+    auto design = SynthesizeDesign(b.traffic, b.name, switches);
+    if (IsAcyclic(ChannelDependencyGraph::Build(design))) {
+      continue;
+    }
+    const auto result = SimulateWorkload(design, StressConfig());
+    if (result.deadlocked) {
+      demonstrated = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(demonstrated)
+      << "no cyclic-CDG design actually deadlocked under stress";
+}
+
+TEST(IntegrationTest, RemovalBeatsOrderingOnVcCountAcrossSuite) {
+  // Aggregate comparison backing the paper's 88% claim: over the whole
+  // suite at 14 switches the removal algorithm must add far fewer VCs.
+  std::size_t removal_total = 0, ordering_total = 0;
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    auto removal_design = SynthesizeDesign(b.traffic, b.name, 14);
+    auto ordering_design = removal_design;
+    removal_total += RemoveDeadlocks(removal_design).vcs_added;
+    ordering_total += ApplyResourceOrdering(ordering_design).vcs_added;
+  }
+  EXPECT_LT(removal_total, ordering_total);
+  // "Large reduction": at least half, on aggregate.
+  EXPECT_LE(removal_total * 2, ordering_total);
+}
+
+TEST(IntegrationTest, RemovalPowerOverheadIsSmall) {
+  // The paper: < 5% power overhead vs. the untreated design, on average
+  // across the suite (individual dense designs may pay slightly more).
+  double before_sum = 0.0, after_sum = 0.0;
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    auto design = SynthesizeDesign(b.traffic, b.name, 14);
+    const double before = EstimatePowerArea(design).TotalPowerMw();
+    RemoveDeadlocks(design);
+    const double after = EstimatePowerArea(design).TotalPowerMw();
+    EXPECT_LE(after, before * 1.10) << b.name;
+    before_sum += before;
+    after_sum += after;
+  }
+  EXPECT_LE(after_sum, before_sum * 1.05);
+}
+
+TEST(IntegrationTest, BothMethodsPreservePhysicalRoutes) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_6);
+  const auto original = SynthesizeDesign(b.traffic, b.name, 14);
+  auto removal_design = original;
+  auto ordering_design = original;
+  RemoveDeadlocks(removal_design);
+  ApplyResourceOrdering(ordering_design);
+  for (std::size_t fi = 0; fi < original.traffic.FlowCount(); ++fi) {
+    const FlowId f(fi);
+    const Route& base = original.routes.RouteOf(f);
+    for (const NocDesign* d : {&removal_design, &ordering_design}) {
+      const Route& modified = d->routes.RouteOf(f);
+      ASSERT_EQ(modified.size(), base.size());
+      for (std::size_t h = 0; h < base.size(); ++h) {
+        EXPECT_EQ(d->topology.ChannelAt(modified[h]).link,
+                  original.topology.ChannelAt(base[h]).link);
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, LatencyComparableAfterRemoval) {
+  // Removal must not degrade the delivered workload: same packets, same
+  // physical hops, so latency stays in the same ballpark on a light
+  // Bernoulli load.
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  auto design = SynthesizeDesign(b.traffic, b.name, 10);
+  RemoveDeadlocks(design);
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kBernoulli;
+  cfg.traffic.reference_injection_rate = 0.002;
+  cfg.traffic.packet_length = 4;
+  cfg.max_cycles = 20000;
+  const auto result = SimulateWorkload(design, cfg);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.packets_delivered, 0u);
+  EXPECT_LT(result.avg_packet_latency, 200.0);
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,146 @@
+// Corner cases: inputs whose routes already use several VCs per link.
+//
+// The algorithm must operate on *channels*, never on physical links —
+// designs that arrive pre-treated (hand-assigned VCs, a previous removal
+// pass, a partially-ordered route set) are legal inputs and everything
+// must keep working at the channel granularity.
+#include <gtest/gtest.h>
+
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "test_helpers.h"
+
+namespace nocdr {
+namespace {
+
+/// The paper-example ring, but F1 and F4 already ride a second VC on L1
+/// and L2 (as if a designer had split them off by hand). The remaining
+/// VC-0 dependencies no longer close a cycle.
+testing::PaperExample MakePreSplitExample() {
+  auto ex = testing::MakePaperExample();
+  auto& topo = ex.design.topology;
+  const ChannelId l1v1 = topo.AddVirtualChannel(ex.l1);
+  const ChannelId l2v1 = topo.AddVirtualChannel(ex.l2);
+  ex.design.routes.SetRoute(ex.f1, {l1v1, l2v1, ex.c3});
+  ex.design.routes.SetRoute(ex.f4, {l1v1, l2v1});
+  ex.design.Validate();
+  return ex;
+}
+
+TEST(MultiVcInputTest, CdgDistinguishesVcsOnOneLink) {
+  auto ex = MakePreSplitExample();
+  const auto cdg = ChannelDependencyGraph::Build(ex.design);
+  // VC0 of L1 is still used by F3, VC1 by F1/F4: different vertices,
+  // different edges.
+  EXPECT_EQ(cdg.VertexCount(), 6u);
+  EXPECT_TRUE(cdg.FindEdge(ex.c4, ex.c1).has_value());   // F3 on VC0
+  EXPECT_FALSE(cdg.FindEdge(ex.c1, ex.c2).has_value());  // nobody on VC0 pair
+}
+
+TEST(MultiVcInputTest, PreSplitDesignIsAlreadyDeadlockFree) {
+  auto ex = MakePreSplitExample();
+  EXPECT_TRUE(IsDeadlockFree(ex.design));
+  const auto report = RemoveDeadlocks(ex.design);
+  EXPECT_TRUE(report.initially_deadlock_free);
+  EXPECT_EQ(report.vcs_added, 0u);
+}
+
+TEST(MultiVcInputTest, RemovalOnPartiallySplitCycle) {
+  // Split F1 off onto VC1, but add a flow that restores the L2->L3
+  // dependency on VC0: the VC0 ring cycle closes again. Removal must fix
+  // it while leaving the pre-existing VC1 channels alone.
+  auto ex = testing::MakePaperExample();
+  auto& topo = ex.design.topology;
+  const ChannelId l1v1 = topo.AddVirtualChannel(ex.l1);
+  const ChannelId l2v1 = topo.AddVirtualChannel(ex.l2);
+  ex.design.routes.SetRoute(ex.f1, {l1v1, l2v1, ex.c3});
+  const CoreId p = ex.design.traffic.AddCore("p");
+  const CoreId q = ex.design.traffic.AddCore("q");
+  ex.design.attachment.push_back(SwitchId(1u));  // p at SW2
+  ex.design.attachment.push_back(SwitchId(3u));  // q at SW4
+  const FlowId f_extra = ex.design.traffic.AddFlow(p, q, 50.0);
+  ex.design.routes.Resize(ex.design.traffic.FlowCount());
+  ex.design.routes.SetRoute(f_extra, {ex.c2, ex.c3});
+  ex.design.Validate();
+  ASSERT_FALSE(IsDeadlockFree(ex.design));
+
+  const std::size_t channels_before = topo.ChannelCount();
+  const auto report = RemoveDeadlocks(ex.design);
+  EXPECT_GE(report.vcs_added, 1u);
+  EXPECT_TRUE(IsDeadlockFree(ex.design));
+  // F1's hand-assigned channels are untouched.
+  EXPECT_EQ(ex.design.routes.RouteOf(ex.f1),
+            (Route{l1v1, l2v1, ex.c3}));
+  EXPECT_EQ(topo.ChannelCount(), channels_before + report.vcs_added);
+}
+
+TEST(MultiVcInputTest, NewVcsGetNextFreeIndex) {
+  auto ex = testing::MakePaperExample();
+  ex.design.topology.AddVirtualChannel(ex.l1);  // pre-existing VC1
+  const auto report = RemoveDeadlocks(ex.design);
+  ASSERT_EQ(report.vcs_added, 1u);
+  // The duplicate lands on some link; if it picked L1 it must be VC2.
+  for (std::size_t c = 0; c < ex.design.topology.ChannelCount(); ++c) {
+    const Channel& ch = ex.design.topology.ChannelAt(ChannelId(c));
+    if (ch.link == ex.l1) {
+      EXPECT_LE(ch.vc, 2u);
+    }
+  }
+  EXPECT_TRUE(IsDeadlockFree(ex.design));
+}
+
+TEST(MultiVcInputTest, ResourceOrderingHandlesMultiVcInput) {
+  auto ex = MakePreSplitExample();
+  const auto report = ApplyResourceOrdering(ex.design);
+  EXPECT_TRUE(IsDeadlockFree(ex.design));
+  ex.design.Validate();
+  (void)report;
+}
+
+TEST(MultiVcInputTest, CrossVcCyclesAreFoundAndFixed) {
+  // Adversarial input: routes that weave across VCs of the same links
+  // and still close a dependency cycle — L1.vc0 -> L2.vc1 -> ... -> back.
+  NocDesign d;
+  std::vector<SwitchId> sw;
+  for (int i = 0; i < 4; ++i) {
+    sw.push_back(d.topology.AddSwitch());
+  }
+  std::vector<LinkId> links;
+  std::vector<ChannelId> v0, v1;
+  for (int i = 0; i < 4; ++i) {
+    const LinkId l = d.topology.AddLink(sw[i], sw[(i + 1) % 4]);
+    links.push_back(l);
+    v0.push_back(*d.topology.FindChannel(l, 0));
+    v1.push_back(d.topology.AddVirtualChannel(l));
+  }
+  std::vector<CoreId> cores;
+  for (int i = 0; i < 4; ++i) {
+    cores.push_back(d.traffic.AddCore());
+    d.attachment.push_back(sw[i]);
+  }
+  d.routes.Resize(0);
+  // Each flow alternates VCs: i uses (vc i%2) then (vc (i+1)%2).
+  std::vector<Route> routes = {
+      {v0[0], v1[1]}, {v1[1], v0[2]}, {v0[2], v1[3]}, {v1[3], v0[0]}};
+  for (int i = 0; i < 4; ++i) {
+    d.traffic.AddFlow(cores[i], cores[(i + 2) % 4], 10.0);
+  }
+  d.routes.Resize(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    d.routes.SetRoute(FlowId(i), routes[i]);
+  }
+  d.Validate();
+
+  const auto cdg = ChannelDependencyGraph::Build(d);
+  const auto cycle = SmallestCycle(cdg);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 4u);  // v0[0] -> v1[1] -> v0[2] -> v1[3] -> ...
+  RemoveDeadlocks(d);
+  EXPECT_TRUE(IsDeadlockFree(d));
+  d.Validate();
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,128 @@
+// Unit tests for core-to-switch partitioning.
+#include "synth/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+CommunicationGraph TwoClusterTraffic() {
+  // Cores 0-3 talk among themselves heavily; cores 4-7 likewise; one
+  // thin flow crosses.
+  CommunicationGraph g;
+  for (int i = 0; i < 8; ++i) {
+    g.AddCore();
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) {
+        g.AddFlow(CoreId(i), CoreId(j), 100.0);
+        g.AddFlow(CoreId(i + 4), CoreId(j + 4), 100.0);
+      }
+    }
+  }
+  g.AddFlow(CoreId(0u), CoreId(4u), 1.0);
+  return g;
+}
+
+TEST(PartitionTest, RecoversNaturalClusters) {
+  const auto g = TwoClusterTraffic();
+  const auto attachment = PartitionCores(g, 2);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(attachment[i], attachment[0]) << "core " << i;
+    EXPECT_EQ(attachment[i + 4], attachment[4]) << "core " << i + 4;
+  }
+  EXPECT_NE(attachment[0], attachment[4]);
+}
+
+TEST(PartitionTest, EverySwitchGetsACore) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  for (std::size_t switches : {2u, 5u, 9u, 13u, 26u}) {
+    const auto attachment = PartitionCores(b.traffic, switches);
+    std::vector<bool> used(switches, false);
+    for (SwitchId s : attachment) {
+      ASSERT_LT(s.value(), switches);
+      used[s.value()] = true;
+    }
+    for (std::size_t s = 0; s < switches; ++s) {
+      EXPECT_TRUE(used[s]) << switches << " switches, switch " << s;
+    }
+  }
+}
+
+TEST(PartitionTest, RespectsCapacity) {
+  const auto g = TwoClusterTraffic();
+  PartitionOptions options;
+  options.max_cores_per_switch = 2;
+  const auto attachment = PartitionCores(g, 4, options);
+  std::vector<int> count(4, 0);
+  for (SwitchId s : attachment) {
+    ++count[s.value()];
+  }
+  for (int c : count) {
+    EXPECT_LE(c, 2);
+  }
+}
+
+TEST(PartitionTest, DefaultCapacityIsBalanced) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto attachment = PartitionCores(b.traffic, 6);
+  std::vector<int> count(6, 0);
+  for (SwitchId s : attachment) {
+    ++count[s.value()];
+  }
+  for (int c : count) {
+    EXPECT_LE(c, 6);  // ceil(36/6)
+    EXPECT_GE(c, 1);
+  }
+}
+
+TEST(PartitionTest, TooSmallCapacityThrows) {
+  const auto g = TwoClusterTraffic();
+  PartitionOptions options;
+  options.max_cores_per_switch = 1;
+  EXPECT_THROW(PartitionCores(g, 4, options), InvalidModelError);
+}
+
+TEST(PartitionTest, MoreSwitchesThanCoresThrows) {
+  const auto g = TwoClusterTraffic();
+  EXPECT_THROW(PartitionCores(g, 9), InvalidModelError);
+  EXPECT_THROW(PartitionCores(g, 0), InvalidModelError);
+}
+
+TEST(PartitionTest, Deterministic) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD35Bot);
+  const auto a1 = PartitionCores(b.traffic, 7);
+  const auto a2 = PartitionCores(b.traffic, 7);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(PartitionTest, RefinementNeverIncreasesCut) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_6);
+  PartitionOptions no_refine;
+  no_refine.refinement_passes = 0;
+  PartitionOptions refine;
+  refine.refinement_passes = 3;
+  const double cut0 =
+      CutBandwidth(b.traffic, PartitionCores(b.traffic, 8, no_refine));
+  const double cut3 =
+      CutBandwidth(b.traffic, PartitionCores(b.traffic, 8, refine));
+  EXPECT_LE(cut3, cut0 + 1e-9);
+}
+
+TEST(PartitionTest, OneCorePerSwitchIsIdentityLike) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  const auto attachment =
+      PartitionCores(b.traffic, b.traffic.CoreCount());
+  std::vector<bool> used(b.traffic.CoreCount(), false);
+  for (SwitchId s : attachment) {
+    EXPECT_FALSE(used[s.value()]) << "two cores on one switch";
+    used[s.value()] = true;
+  }
+}
+
+}  // namespace
+}  // namespace nocdr

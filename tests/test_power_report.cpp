@@ -1,0 +1,65 @@
+// Unit tests for power/area report rendering.
+#include "power/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "deadlock/resource_ordering.h"
+#include "test_helpers.h"
+
+namespace nocdr {
+namespace {
+
+TEST(PowerReportTest, SummaryContainsAllComponents) {
+  auto ex = testing::MakePaperExample();
+  const auto pa = EstimatePowerArea(ex.design);
+  std::ostringstream os;
+  PrintPowerSummary(os, ex.design, pa);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("paper_fig1"), std::string::npos);
+  EXPECT_NE(out.find("switch area"), std::string::npos);
+  EXPECT_NE(out.find("dynamic power"), std::string::npos);
+  EXPECT_NE(out.find("leakage power"), std::string::npos);
+  EXPECT_NE(out.find("clock power"), std::string::npos);
+  EXPECT_NE(out.find("total power"), std::string::npos);
+}
+
+TEST(PowerReportTest, BreakdownHasOneRowPerSwitch) {
+  auto ex = testing::MakePaperExample();
+  const auto pa = EstimatePowerArea(ex.design);
+  std::ostringstream os;
+  PrintPerSwitchBreakdown(os, ex.design, pa);
+  const std::string out = os.str();
+  for (const char* name : {"SW1", "SW2", "SW3", "SW4"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(PowerReportTest, ComparisonShowsDeltas) {
+  auto base = testing::MakePaperExample();
+  auto treated = testing::MakePaperExample();
+  ApplyResourceOrdering(treated.design);
+  const auto pa_base = EstimatePowerArea(base.design);
+  const auto pa_treated = EstimatePowerArea(treated.design);
+  std::ostringstream os;
+  PrintPowerComparison(os, "untreated", pa_base, "ordered", pa_treated);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("untreated"), std::string::npos);
+  EXPECT_NE(out.find("ordered"), std::string::npos);
+  EXPECT_NE(out.find("delta"), std::string::npos);
+  // Ordering added VCs: some positive area delta must appear.
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(PowerReportTest, ZeroBaselineRendersDash) {
+  NocPowerArea zero;
+  NocPowerArea some;
+  some.dynamic_mw = 1.0;
+  std::ostringstream os;
+  PrintPowerComparison(os, "a", zero, "b", some);
+  EXPECT_NE(os.str().find("| -"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nocdr

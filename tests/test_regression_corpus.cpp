@@ -1,0 +1,88 @@
+// Regression lock on the end-to-end pipeline.
+//
+// Golden VC counts for both deadlock-handling methods on every benchmark
+// at three switch counts. Everything in the pipeline is deterministic
+// (partitioning, topology construction, routing, cycle selection,
+// tie-breaks), so any diff here means an algorithmic change — intended
+// changes must update the table consciously.
+#include <gtest/gtest.h>
+
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "soc/benchmarks.h"
+#include "synth/synthesizer.h"
+
+namespace nocdr {
+namespace {
+
+struct GoldenRow {
+  const char* benchmark;
+  std::size_t switches;
+  std::size_t removal_vcs;
+  std::size_t ordering_vcs;
+  std::size_t links;
+};
+
+constexpr GoldenRow kGolden[] = {
+    {"D26_media", 10, 0, 4, 18},  {"D26_media", 14, 0, 7, 28},
+    {"D26_media", 18, 0, 8, 36},  {"D36_4", 10, 1, 30, 28},
+    {"D36_4", 14, 1, 51, 40},     {"D36_4", 18, 9, 87, 52},
+    {"D36_6", 10, 2, 35, 28},     {"D36_6", 14, 8, 61, 40},
+    {"D36_6", 18, 7, 103, 52},    {"D36_8", 10, 1, 38, 28},
+    {"D36_8", 14, 3, 70, 40},     {"D36_8", 18, 14, 103, 52},
+    {"D35_bot", 10, 0, 0, 22},    {"D35_bot", 14, 0, 3, 33},
+    {"D35_bot", 18, 0, 8, 37},    {"D38_tvo", 10, 0, 6, 21},
+    {"D38_tvo", 14, 0, 10, 28},   {"D38_tvo", 18, 0, 8, 35},
+};
+
+SocBenchmarkId IdFromName(const std::string& name) {
+  for (auto id : AllBenchmarkIds()) {
+    if (BenchmarkName(id) == name) {
+      return id;
+    }
+  }
+  throw std::runtime_error("unknown benchmark " + name);
+}
+
+class GoldenSweep : public ::testing::TestWithParam<GoldenRow> {};
+
+TEST_P(GoldenSweep, PipelineProducesGoldenCounts) {
+  const GoldenRow& row = GetParam();
+  const auto b = MakeBenchmark(IdFromName(row.benchmark));
+  auto removal_design = SynthesizeDesign(b.traffic, b.name, row.switches);
+  auto ordering_design = removal_design;
+  EXPECT_EQ(removal_design.topology.LinkCount(), row.links);
+  const auto removal = RemoveDeadlocks(removal_design);
+  const auto ordering = ApplyResourceOrdering(ordering_design);
+  EXPECT_EQ(removal.vcs_added, row.removal_vcs);
+  EXPECT_EQ(ordering.vcs_added, row.ordering_vcs);
+  EXPECT_TRUE(IsDeadlockFree(removal_design));
+  EXPECT_TRUE(IsDeadlockFree(ordering_design));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoints, GoldenSweep, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenRow>& info) {
+      return std::string(info.param.benchmark) + "_" +
+             std::to_string(info.param.switches) + "sw";
+    });
+
+TEST(GoldenCorpusTest, RemovalNeverExceedsOrderingAnywhere) {
+  for (const GoldenRow& row : kGolden) {
+    EXPECT_LE(row.removal_vcs, row.ordering_vcs)
+        << row.benchmark << "@" << row.switches;
+  }
+}
+
+TEST(GoldenCorpusTest, AggregateReductionMatchesHeadline) {
+  std::size_t removal = 0, ordering = 0;
+  for (const GoldenRow& row : kGolden) {
+    removal += row.removal_vcs;
+    ordering += row.ordering_vcs;
+  }
+  // The paper's "large reduction" headline: >= 80% over the corpus.
+  EXPECT_GE(ordering, removal * 5);
+}
+
+}  // namespace
+}  // namespace nocdr

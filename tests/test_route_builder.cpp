@@ -1,0 +1,120 @@
+// Unit tests for congestion-aware route construction.
+#include "synth/route_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "synth/partition.h"
+#include "synth/synthesizer.h"
+#include "synth/topology_builder.h"
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+/// Small diamond: a -> {b, c} -> d lets traffic split.
+struct Diamond {
+  TopologyGraph topo;
+  SwitchId a, b, c, d;
+};
+
+Diamond MakeDiamond() {
+  Diamond dm;
+  dm.a = dm.topo.AddSwitch("a");
+  dm.b = dm.topo.AddSwitch("b");
+  dm.c = dm.topo.AddSwitch("c");
+  dm.d = dm.topo.AddSwitch("d");
+  dm.topo.AddLink(dm.a, dm.b);
+  dm.topo.AddLink(dm.b, dm.d);
+  dm.topo.AddLink(dm.a, dm.c);
+  dm.topo.AddLink(dm.c, dm.d);
+  return dm;
+}
+
+TEST(RouteBuilderTest, ShortestPathWhenUncongested) {
+  Diamond dm = MakeDiamond();
+  // Extra 3-hop detour a->b->c->d would never win.
+  dm.topo.AddLink(dm.b, dm.c);
+  CommunicationGraph g;
+  const CoreId x = g.AddCore(), y = g.AddCore();
+  g.AddFlow(x, y, 10.0);
+  const std::vector<SwitchId> attachment = {dm.a, dm.d};
+  const auto routes = BuildRoutes(dm.topo, g, attachment);
+  EXPECT_EQ(routes.RouteOf(FlowId(0u)).size(), 2u);
+}
+
+TEST(RouteBuilderTest, CongestionSplitsHeavyTraffic) {
+  Diamond dm = MakeDiamond();
+  CommunicationGraph g;
+  const CoreId x = g.AddCore(), y = g.AddCore();
+  // Two very heavy parallel flows: with load-aware weights the second
+  // must take the other branch of the diamond.
+  g.AddFlow(x, y, 2000.0);
+  g.AddFlow(x, y, 2000.0);
+  const std::vector<SwitchId> attachment = {dm.a, dm.d};
+  RouteBuildOptions options;
+  options.congestion_weight = 4.0;
+  options.link_capacity_mbps = 1000.0;
+  const auto routes = BuildRoutes(dm.topo, g, attachment, options);
+  const Route& r0 = routes.RouteOf(FlowId(0u));
+  const Route& r1 = routes.RouteOf(FlowId(1u));
+  ASSERT_EQ(r0.size(), 2u);
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_NE(r0[0], r1[0]) << "both flows took the same branch";
+}
+
+TEST(RouteBuilderTest, ZeroCongestionWeightIgnoresLoad) {
+  Diamond dm = MakeDiamond();
+  CommunicationGraph g;
+  const CoreId x = g.AddCore(), y = g.AddCore();
+  g.AddFlow(x, y, 2000.0);
+  g.AddFlow(x, y, 2000.0);
+  const std::vector<SwitchId> attachment = {dm.a, dm.d};
+  RouteBuildOptions options;
+  options.congestion_weight = 0.0;
+  const auto routes = BuildRoutes(dm.topo, g, attachment, options);
+  // Pure shortest path with deterministic tie-break: identical routes.
+  EXPECT_EQ(routes.RouteOf(FlowId(0u)), routes.RouteOf(FlowId(1u)));
+}
+
+TEST(RouteBuilderTest, IntraSwitchFlowsGetEmptyRoutes) {
+  Diamond dm = MakeDiamond();
+  CommunicationGraph g;
+  const CoreId x = g.AddCore(), y = g.AddCore();
+  g.AddFlow(x, y, 50.0);
+  const std::vector<SwitchId> attachment = {dm.a, dm.a};
+  const auto routes = BuildRoutes(dm.topo, g, attachment);
+  EXPECT_TRUE(routes.RouteOf(FlowId(0u)).empty());
+}
+
+TEST(RouteBuilderTest, DisconnectedThrows) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch();
+  (void)b;
+  CommunicationGraph g;
+  const CoreId x = g.AddCore(), y = g.AddCore();
+  g.AddFlow(x, y, 1.0);
+  const std::vector<SwitchId> attachment = {a, SwitchId(1u)};
+  EXPECT_THROW(BuildRoutes(t, g, attachment), InvalidModelError);
+}
+
+TEST(RouteBuilderTest, AllRoutesValidateOnSynthesizedTopologies) {
+  for (auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    const auto design = SynthesizeDesign(b.traffic, b.name, 10);
+    EXPECT_NO_THROW(design.Validate()) << b.name;
+  }
+}
+
+TEST(RouteBuilderTest, RoutesUseOnlyVcZero) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_6);
+  const auto design = SynthesizeDesign(b.traffic, b.name, 12);
+  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
+    for (ChannelId c : design.routes.RouteOf(FlowId(fi))) {
+      EXPECT_EQ(design.topology.ChannelAt(c).vc, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,182 @@
+// Unit tests for the wormhole simulator.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "deadlock/removal.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+SimConfig QuickConfig(std::uint32_t packets = 4) {
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kFixedCount;
+  cfg.traffic.packets_per_flow = packets;
+  cfg.traffic.packet_length = 4;
+  cfg.max_cycles = 50000;
+  cfg.stall_threshold = 500;
+  return cfg;
+}
+
+/// One flow across a 3-switch line.
+NocDesign LineDesign() {
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch(), b = d.topology.AddSwitch(),
+                 c = d.topology.AddSwitch();
+  const LinkId ab = d.topology.AddLink(a, b);
+  const LinkId bc = d.topology.AddLink(b, c);
+  const CoreId x = d.traffic.AddCore(), y = d.traffic.AddCore();
+  d.attachment = {a, c};
+  const FlowId f = d.traffic.AddFlow(x, y, 100.0);
+  d.routes.Resize(1);
+  d.routes.SetRoute(f, {*d.topology.FindChannel(ab, 0),
+                        *d.topology.FindChannel(bc, 0)});
+  d.Validate();
+  return d;
+}
+
+TEST(SimTest, SingleFlowDeliversEverything) {
+  const auto d = LineDesign();
+  const auto result = SimulateWorkload(d, QuickConfig(10));
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_TRUE(result.AllDelivered());
+  EXPECT_EQ(result.packets_delivered, 10u);
+  EXPECT_EQ(result.flits_delivered, 10u * 4u);
+  EXPECT_EQ(result.stuck_flits, 0u);
+}
+
+TEST(SimTest, LatencyIsAtLeastPipelineDepth) {
+  const auto d = LineDesign();
+  const auto result = SimulateWorkload(d, QuickConfig(1));
+  // 4 flits over 2 hops + ejection: at least route length + packet
+  // length cycles.
+  EXPECT_GE(result.avg_packet_latency, 4.0);
+  EXPECT_GE(result.max_packet_latency, 4u);
+}
+
+TEST(SimTest, LocalFlowsBypassNetwork) {
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch();
+  const CoreId x = d.traffic.AddCore(), y = d.traffic.AddCore();
+  d.attachment = {a, a};
+  d.traffic.AddFlow(x, y, 10.0);
+  d.routes.Resize(1);
+  d.Validate();
+  const auto result = SimulateWorkload(d, QuickConfig(5));
+  EXPECT_TRUE(result.AllDelivered());
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.max_packet_latency, 1u);
+}
+
+TEST(SimTest, RingWithAggressiveTrafficDeadlocks) {
+  // The canonical scenario: 4-ring, every flow spans 2 hops, packets
+  // longer than the buffers, all flows injecting at once. The CDG has a
+  // cycle and the sim must actually freeze.
+  auto d = testing::MakeRingDesign(4, 2);
+  SimConfig cfg = QuickConfig(8);
+  cfg.traffic.packet_length = 12;  // worms span both hops
+  cfg.buffer_depth = 2;
+  const auto result = SimulateWorkload(d, cfg);
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_FALSE(result.AllDelivered());
+  EXPECT_GT(result.stuck_flits, 0u);
+  EXPECT_FALSE(result.deadlock_cycle.empty());
+}
+
+TEST(SimTest, SameRingAfterRemovalCompletes) {
+  auto d = testing::MakeRingDesign(4, 2);
+  RemoveDeadlocks(d);
+  SimConfig cfg = QuickConfig(8);
+  cfg.traffic.packet_length = 12;
+  cfg.buffer_depth = 2;
+  const auto result = SimulateWorkload(d, cfg);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_TRUE(result.AllDelivered());
+  EXPECT_EQ(result.stuck_flits, 0u);
+}
+
+TEST(SimTest, PaperExampleDeadlocksThenIsFixed) {
+  auto ex = testing::MakePaperExample();
+  SimConfig cfg = QuickConfig(6);
+  cfg.traffic.packet_length = 10;
+  cfg.buffer_depth = 2;
+  const auto before = SimulateWorkload(ex.design, cfg);
+  EXPECT_TRUE(before.deadlocked);
+
+  RemoveDeadlocks(ex.design);
+  const auto after = SimulateWorkload(ex.design, cfg);
+  EXPECT_FALSE(after.deadlocked);
+  EXPECT_TRUE(after.AllDelivered());
+}
+
+TEST(SimTest, DeadlockCycleIsReportedOnRealChannels) {
+  auto d = testing::MakeRingDesign(4, 2);
+  SimConfig cfg = QuickConfig(8);
+  cfg.traffic.packet_length = 12;
+  cfg.buffer_depth = 2;
+  const auto result = SimulateWorkload(d, cfg);
+  ASSERT_TRUE(result.deadlocked);
+  for (ChannelId c : result.deadlock_cycle) {
+    EXPECT_TRUE(d.topology.IsValidChannel(c));
+  }
+}
+
+TEST(SimTest, BernoulliModeDeliversUnderLightLoad) {
+  const auto d = LineDesign();
+  SimConfig cfg;
+  cfg.traffic.mode = InjectionMode::kBernoulli;
+  cfg.traffic.packet_length = 4;
+  cfg.traffic.reference_injection_rate = 0.01;
+  cfg.max_cycles = 3000;
+  const auto result = SimulateWorkload(d, cfg);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.packets_offered, 0u);
+  // Most offered packets delivered (the horizon truncates stragglers).
+  EXPECT_GE(result.packets_delivered + 5, result.packets_offered);
+}
+
+TEST(SimTest, DeterministicAcrossRuns) {
+  auto d = testing::MakeRingDesign(6, 2);
+  const auto r1 = SimulateWorkload(d, QuickConfig(5));
+  const auto r2 = SimulateWorkload(d, QuickConfig(5));
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.packets_delivered, r2.packets_delivered);
+  EXPECT_EQ(r1.deadlocked, r2.deadlocked);
+  EXPECT_DOUBLE_EQ(r1.avg_packet_latency, r2.avg_packet_latency);
+}
+
+TEST(SimTest, InvalidConfigThrows) {
+  const auto d = LineDesign();
+  SimConfig cfg = QuickConfig();
+  cfg.traffic.packet_length = 0;
+  EXPECT_THROW(SimulateWorkload(d, cfg), InvalidModelError);
+  cfg = QuickConfig();
+  cfg.buffer_depth = 0;
+  EXPECT_THROW(SimulateWorkload(d, cfg), InvalidModelError);
+}
+
+TEST(SimTest, ThroughputBoundedByLinkBandwidth) {
+  // Two flows share one link; at most one flit per cycle can cross it,
+  // so delivering all flits takes at least total_flits cycles.
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch(), b = d.topology.AddSwitch();
+  const LinkId ab = d.topology.AddLink(a, b);
+  const CoreId w = d.traffic.AddCore(), x = d.traffic.AddCore(),
+               y = d.traffic.AddCore(), z = d.traffic.AddCore();
+  d.attachment = {a, b, a, b};
+  const FlowId f1 = d.traffic.AddFlow(w, x, 100.0);
+  const FlowId f2 = d.traffic.AddFlow(y, z, 100.0);
+  d.routes.Resize(2);
+  const ChannelId ch = *d.topology.FindChannel(ab, 0);
+  d.routes.SetRoute(f1, {ch});
+  d.routes.SetRoute(f2, {ch});
+  d.Validate();
+  const auto result = SimulateWorkload(d, QuickConfig(10));
+  EXPECT_TRUE(result.AllDelivered());
+  EXPECT_GE(result.cycles, 2u * 10u * 4u);  // 80 flits over one link
+}
+
+}  // namespace
+}  // namespace nocdr

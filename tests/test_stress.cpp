@@ -1,0 +1,83 @@
+// Randomized stress corpus: the full pipeline on many random shapes.
+//
+// Complements the targeted suites with breadth — a few hundred random
+// designs of varied size, all pushed through removal + certificate
+// checking, and a sample of them through ordering and simulation.
+#include <gtest/gtest.h>
+
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "deadlock/verify.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+
+namespace nocdr {
+namespace {
+
+struct StressShape {
+  std::size_t switches;
+  std::size_t cores;
+  std::size_t flows;
+};
+
+class StressSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {
+ protected:
+  NocDesign MakeDesign() const {
+    const auto [seed, shape_index] = GetParam();
+    static constexpr StressShape kShapes[] = {
+        {4, 6, 10}, {6, 10, 25}, {10, 16, 40}, {14, 24, 70}, {20, 32, 110}};
+    const StressShape& s = kShapes[shape_index];
+    return testing::MakeRandomDesign(seed * 7919 + shape_index, s.switches,
+                                     s.cores, s.flows);
+  }
+};
+
+TEST_P(StressSweep, RemovalConvergesAndCertifies) {
+  auto d = MakeDesign();
+  const auto report = RemoveDeadlocks(d);
+  const auto cert = CertifyDeadlockFreedom(d);
+  ASSERT_TRUE(cert.deadlock_free);
+  EXPECT_TRUE(CheckCertificate(d, cert));
+  EXPECT_NO_THROW(d.Validate());
+  EXPECT_EQ(d.topology.ExtraVcCount(), report.vcs_added);
+}
+
+TEST_P(StressSweep, OrderingNeverBeatenByMoreThanItsGuarantee) {
+  // Ordering is always >= removal on this corpus (empirical headline) —
+  // and both must end deadlock-free.
+  auto rm = MakeDesign();
+  auto ro = rm;
+  const auto removal = RemoveDeadlocks(rm);
+  const auto ordering = ApplyResourceOrdering(ro);
+  EXPECT_LE(removal.vcs_added, ordering.vcs_added);
+  EXPECT_TRUE(IsDeadlockFree(rm));
+  EXPECT_TRUE(IsDeadlockFree(ro));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, StressSweep,
+                         ::testing::Combine(::testing::Range<std::uint64_t>(
+                                                1, 21),
+                                            ::testing::Range(0, 5)));
+
+class StressSimSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSimSweep, TreatedDesignsNeverFreeze) {
+  auto d = testing::MakeRandomDesign(GetParam() * 31 + 5, 8, 14, 36);
+  RemoveDeadlocks(d);
+  SimConfig cfg;
+  cfg.traffic.packets_per_flow = 2;
+  cfg.traffic.packet_length = 7;
+  cfg.buffer_depth = 2;
+  cfg.max_cycles = 150000;
+  cfg.stall_threshold = 1500;
+  const auto r = SimulateWorkload(d, cfg);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.AllDelivered());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSimSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,97 @@
+// End-to-end synthesis tests across benchmarks and switch counts.
+#include "synth/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+#include "deadlock/removal.h"
+#include "soc/benchmarks.h"
+
+namespace nocdr {
+namespace {
+
+class SynthesisSweep
+    : public ::testing::TestWithParam<std::tuple<SocBenchmarkId, std::size_t>> {
+};
+
+TEST_P(SynthesisSweep, ProducesValidDesign) {
+  const auto [id, switches] = GetParam();
+  const auto b = MakeBenchmark(id);
+  if (switches > b.traffic.CoreCount()) {
+    GTEST_SKIP();
+  }
+  const auto design = SynthesizeDesign(b.traffic, b.name, switches);
+  EXPECT_NO_THROW(design.Validate());
+  EXPECT_EQ(design.topology.SwitchCount(), switches);
+  EXPECT_EQ(design.topology.ExtraVcCount(), 0u) << "synthesis adds no VCs";
+}
+
+TEST_P(SynthesisSweep, RemovalAlwaysSucceedsOnSynthesizedDesigns) {
+  const auto [id, switches] = GetParam();
+  const auto b = MakeBenchmark(id);
+  if (switches > b.traffic.CoreCount()) {
+    GTEST_SKIP();
+  }
+  auto design = SynthesizeDesign(b.traffic, b.name, switches);
+  const auto report = RemoveDeadlocks(design);
+  EXPECT_TRUE(IsDeadlockFree(design));
+  design.Validate();
+  (void)report;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SynthesisSweep,
+    ::testing::Combine(::testing::Values(SocBenchmarkId::kD26Media,
+                                         SocBenchmarkId::kD36_4,
+                                         SocBenchmarkId::kD36_6,
+                                         SocBenchmarkId::kD36_8,
+                                         SocBenchmarkId::kD35Bot,
+                                         SocBenchmarkId::kD38Tvo),
+                       ::testing::Values(5u, 10u, 14u, 20u, 25u)));
+
+TEST(SynthesizerTest, DesignNameEncodesSwitchCount) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  const auto design = SynthesizeDesign(b.traffic, b.name, 7);
+  EXPECT_EQ(design.name, "D26_media@7sw");
+}
+
+TEST(SynthesizerTest, DenseTrafficProducesCyclicCdgSomewhere) {
+  // The paper's premise: dense many-to-many traffic on irregular
+  // topologies yields deadlock-prone designs. At least one switch count
+  // in the sweep must produce a cyclic CDG for D36_8.
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  bool found_cycle = false;
+  for (std::size_t switches = 10; switches <= 35 && !found_cycle;
+       switches += 5) {
+    const auto design = SynthesizeDesign(b.traffic, b.name, switches);
+    found_cycle = !IsAcyclic(ChannelDependencyGraph::Build(design));
+  }
+  EXPECT_TRUE(found_cycle);
+}
+
+TEST(SynthesizerTest, SparseTrafficMostlyAcyclic) {
+  // Counterpart of Figure 8's flat solid line: most D26_media designs
+  // need no VCs at all.
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  int acyclic = 0, total = 0;
+  for (std::size_t switches = 5; switches <= 25; switches += 2) {
+    const auto design = SynthesizeDesign(b.traffic, b.name, switches);
+    acyclic += IsAcyclic(ChannelDependencyGraph::Build(design)) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GE(acyclic * 2, total) << "expected mostly deadlock-free designs";
+}
+
+TEST(SynthesizerTest, Deterministic) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_4);
+  const auto d1 = SynthesizeDesign(b.traffic, b.name, 9);
+  const auto d2 = SynthesizeDesign(b.traffic, b.name, 9);
+  ASSERT_EQ(d1.topology.LinkCount(), d2.topology.LinkCount());
+  for (std::size_t fi = 0; fi < d1.traffic.FlowCount(); ++fi) {
+    EXPECT_EQ(d1.routes.RouteOf(FlowId(fi)), d2.routes.RouteOf(FlowId(fi)));
+  }
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,91 @@
+// Unit tests for the configurable synthetic SoC generator.
+#include "soc/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "deadlock/removal.h"
+#include "synth/synthesizer.h"
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+TEST(SyntheticSocTest, CoreCountAndName) {
+  SyntheticSocSpec spec;
+  spec.cores = 48;
+  spec.fanout = 3;
+  const auto b = MakeSyntheticSoc(spec);
+  EXPECT_EQ(b.traffic.CoreCount(), 48u);
+  EXPECT_EQ(b.name, "S48_f3");
+}
+
+TEST(SyntheticSocTest, Deterministic) {
+  SyntheticSocSpec spec;
+  spec.cores = 40;
+  const auto a = MakeSyntheticSoc(spec);
+  const auto b = MakeSyntheticSoc(spec);
+  ASSERT_EQ(a.traffic.FlowCount(), b.traffic.FlowCount());
+  for (std::size_t f = 0; f < a.traffic.FlowCount(); ++f) {
+    EXPECT_DOUBLE_EQ(a.traffic.FlowAt(FlowId(f)).bandwidth_mbps,
+                     b.traffic.FlowAt(FlowId(f)).bandwidth_mbps);
+  }
+}
+
+TEST(SyntheticSocTest, SeedChangesBandwidths) {
+  SyntheticSocSpec spec_a, spec_b;
+  spec_b.seed = 99;
+  const auto a = MakeSyntheticSoc(spec_a);
+  const auto b = MakeSyntheticSoc(spec_b);
+  ASSERT_EQ(a.traffic.FlowCount(), b.traffic.FlowCount());
+  bool any_different = false;
+  for (std::size_t f = 0; f < a.traffic.FlowCount(); ++f) {
+    any_different |= a.traffic.FlowAt(FlowId(f)).bandwidth_mbps !=
+                     b.traffic.FlowAt(FlowId(f)).bandwidth_mbps;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SyntheticSocTest, BandwidthsWithinRange) {
+  SyntheticSocSpec spec;
+  spec.min_bandwidth = 50.0;
+  spec.max_bandwidth = 60.0;
+  const auto b = MakeSyntheticSoc(spec);
+  for (std::size_t f = 0; f < b.traffic.FlowCount(); ++f) {
+    const double bw = b.traffic.FlowAt(FlowId(f)).bandwidth_mbps;
+    EXPECT_GE(bw, 50.0);
+    EXPECT_LE(bw, 60.0);
+  }
+}
+
+TEST(SyntheticSocTest, InvalidSpecsThrow) {
+  SyntheticSocSpec spec;
+  spec.cores = 3;
+  spec.hubs = 2;
+  EXPECT_THROW(MakeSyntheticSoc(spec), InvalidModelError);
+  spec = {};
+  spec.pipeline_length = 0;
+  EXPECT_THROW(MakeSyntheticSoc(spec), InvalidModelError);
+  spec = {};
+  spec.min_bandwidth = 10.0;
+  spec.max_bandwidth = 1.0;
+  EXPECT_THROW(MakeSyntheticSoc(spec), InvalidModelError);
+}
+
+class SyntheticScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SyntheticScaleSweep, SynthesisAndRemovalScale) {
+  SyntheticSocSpec spec;
+  spec.cores = GetParam();
+  spec.fanout = 4;
+  const auto b = MakeSyntheticSoc(spec);
+  auto design = SynthesizeDesign(b.traffic, b.name, spec.cores / 4);
+  RemoveDeadlocks(design);
+  EXPECT_TRUE(IsDeadlockFree(design));
+  design.Validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticScaleSweep,
+                         ::testing::Values(24, 48, 96, 160));
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,72 @@
+// Unit tests for the table renderer.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nocdr {
+namespace {
+
+TEST(TextTableTest, AlignedRendering) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t;
+  EXPECT_EQ(t.RowCount(), 0u);
+  t.AddRow({"x"});
+  t.AddRow({"y"});
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(TextTableTest, RaggedRowsArePadded) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvBasic) {
+  TextTable t;
+  t.SetHeader({"x", "y"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t;
+  t.AddRow({"a,b", "say \"hi\"", "multi\nline"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+}
+
+TEST(TextTableTest, NoHeaderNoSeparator) {
+  TextTable t;
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str().find("---"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace nocdr

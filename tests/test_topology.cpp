@@ -1,0 +1,130 @@
+// Unit tests for the topology graph.
+#include "noc/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+TEST(TopologyTest, EmptyGraph) {
+  TopologyGraph t;
+  EXPECT_EQ(t.SwitchCount(), 0u);
+  EXPECT_EQ(t.LinkCount(), 0u);
+  EXPECT_EQ(t.ChannelCount(), 0u);
+}
+
+TEST(TopologyTest, AddSwitchAssignsDenseIds) {
+  TopologyGraph t;
+  EXPECT_EQ(t.AddSwitch().value(), 0u);
+  EXPECT_EQ(t.AddSwitch().value(), 1u);
+  EXPECT_EQ(t.SwitchCount(), 2u);
+}
+
+TEST(TopologyTest, DefaultSwitchNames) {
+  TopologyGraph t;
+  const SwitchId s = t.AddSwitch();
+  EXPECT_EQ(t.SwitchName(s), "SW0");
+  const SwitchId named = t.AddSwitch("router_x");
+  EXPECT_EQ(t.SwitchName(named), "router_x");
+}
+
+TEST(TopologyTest, AddLinkCreatesImplicitChannel) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch();
+  const LinkId l = t.AddLink(a, b);
+  EXPECT_EQ(t.LinkCount(), 1u);
+  EXPECT_EQ(t.ChannelCount(), 1u);
+  EXPECT_EQ(t.VcCount(l), 1u);
+  EXPECT_EQ(t.ExtraVcCount(), 0u);
+  const Channel& ch = t.ChannelAt(t.ChannelsOf(l)[0]);
+  EXPECT_EQ(ch.link, l);
+  EXPECT_EQ(ch.vc, 0u);
+}
+
+TEST(TopologyTest, SelfLoopRejected) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch();
+  EXPECT_THROW(t.AddLink(a, a), InvalidModelError);
+}
+
+TEST(TopologyTest, LinkToUnknownSwitchRejected) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch();
+  EXPECT_THROW(t.AddLink(a, SwitchId(5u)), InvalidModelError);
+  EXPECT_THROW(t.AddLink(SwitchId(), a), InvalidModelError);
+}
+
+TEST(TopologyTest, AddVirtualChannelIncrementsVc) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch();
+  const LinkId l = t.AddLink(a, b);
+  const ChannelId extra = t.AddVirtualChannel(l);
+  EXPECT_EQ(t.ChannelAt(extra).vc, 1u);
+  EXPECT_EQ(t.VcCount(l), 2u);
+  EXPECT_EQ(t.ExtraVcCount(), 1u);
+}
+
+TEST(TopologyTest, AdjacencyLists) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch(), c = t.AddSwitch();
+  const LinkId ab = t.AddLink(a, b);
+  const LinkId ac = t.AddLink(a, c);
+  const LinkId cb = t.AddLink(c, b);
+  EXPECT_EQ(t.OutLinks(a).size(), 2u);
+  EXPECT_EQ(t.InLinks(b).size(), 2u);
+  EXPECT_EQ(t.OutLinks(c), std::vector<LinkId>{cb});
+  EXPECT_EQ(t.InLinks(c), std::vector<LinkId>{ac});
+  EXPECT_EQ(t.InLinks(a).size(), 0u);
+  (void)ab;
+}
+
+TEST(TopologyTest, FindLink) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch();
+  const LinkId l = t.AddLink(a, b);
+  EXPECT_EQ(t.FindLink(a, b), l);
+  EXPECT_EQ(t.FindLink(b, a), std::nullopt);
+}
+
+TEST(TopologyTest, FindChannel) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch();
+  const LinkId l = t.AddLink(a, b);
+  EXPECT_TRUE(t.FindChannel(l, 0).has_value());
+  EXPECT_FALSE(t.FindChannel(l, 1).has_value());
+  t.AddVirtualChannel(l);
+  EXPECT_TRUE(t.FindChannel(l, 1).has_value());
+}
+
+TEST(TopologyTest, ChannelLabel) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch("A"), b = t.AddSwitch("B");
+  const LinkId l = t.AddLink(a, b);
+  const ChannelId extra = t.AddVirtualChannel(l);
+  EXPECT_EQ(t.ChannelLabel(extra), "A->B.vc1");
+}
+
+TEST(TopologyTest, ParallelLinksAllowed) {
+  TopologyGraph t;
+  const SwitchId a = t.AddSwitch(), b = t.AddSwitch();
+  const LinkId l1 = t.AddLink(a, b);
+  const LinkId l2 = t.AddLink(a, b);
+  EXPECT_NE(l1, l2);
+  EXPECT_EQ(t.LinkCount(), 2u);
+  // FindLink returns the first.
+  EXPECT_EQ(t.FindLink(a, b), l1);
+}
+
+TEST(TopologyTest, InvalidAccessorsThrow) {
+  TopologyGraph t;
+  EXPECT_THROW((void)t.SwitchName(SwitchId(0u)), InvalidModelError);
+  EXPECT_THROW((void)t.LinkAt(LinkId(0u)), InvalidModelError);
+  EXPECT_THROW((void)t.ChannelAt(ChannelId(0u)), InvalidModelError);
+  EXPECT_THROW((void)t.ChannelsOf(LinkId(0u)), InvalidModelError);
+  EXPECT_THROW(t.AddVirtualChannel(LinkId(3u)), InvalidModelError);
+}
+
+}  // namespace
+}  // namespace nocdr

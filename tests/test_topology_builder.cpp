@@ -1,0 +1,130 @@
+// Unit tests for switch-topology construction.
+#include "synth/topology_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "soc/benchmarks.h"
+#include "synth/partition.h"
+
+namespace nocdr {
+namespace {
+
+/// True iff every switch can reach every other over directed links.
+bool StronglyConnected(const TopologyGraph& t) {
+  const std::size_t n = t.SwitchCount();
+  auto reaches_all = [&](SwitchId start, bool reversed) {
+    std::vector<bool> seen(n, false);
+    std::deque<SwitchId> queue{start};
+    seen[start.value()] = true;
+    std::size_t count = 1;
+    while (!queue.empty()) {
+      const SwitchId cur = queue.front();
+      queue.pop_front();
+      const auto& links = reversed ? t.InLinks(cur) : t.OutLinks(cur);
+      for (LinkId l : links) {
+        const SwitchId next =
+            reversed ? t.LinkAt(l).src : t.LinkAt(l).dst;
+        if (!seen[next.value()]) {
+          seen[next.value()] = true;
+          ++count;
+          queue.push_back(next);
+        }
+      }
+    }
+    return count == n;
+  };
+  return reaches_all(SwitchId(0u), false) && reaches_all(SwitchId(0u), true);
+}
+
+class TopologyBuilderSweep
+    : public ::testing::TestWithParam<std::tuple<SocBenchmarkId, std::size_t>> {
+};
+
+TEST_P(TopologyBuilderSweep, ConnectedAndWithinDegree) {
+  const auto [bench_id, switches] = GetParam();
+  const auto b = MakeBenchmark(bench_id);
+  if (switches > b.traffic.CoreCount()) {
+    GTEST_SKIP() << "more switches than cores";
+  }
+  const auto attachment = PartitionCores(b.traffic, switches);
+  TopologyBuildOptions options;
+  const auto topo =
+      BuildSwitchTopology(b.traffic, attachment, switches, options);
+  EXPECT_EQ(topo.SwitchCount(), switches);
+  EXPECT_TRUE(StronglyConnected(topo));
+  for (std::size_t s = 0; s < switches; ++s) {
+    const std::size_t degree = topo.OutLinks(SwitchId(s)).size() +
+                               topo.InLinks(SwitchId(s)).size();
+    // The spanning tree may exceed the cap (connectivity first); the
+    // budgeted shortcuts must not blow past it by more than the tree
+    // needed. Sanity bound: within cap + tree slack.
+    EXPECT_LE(degree, options.max_switch_degree + 2 * switches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, TopologyBuilderSweep,
+    ::testing::Combine(::testing::Values(SocBenchmarkId::kD26Media,
+                                         SocBenchmarkId::kD36_8,
+                                         SocBenchmarkId::kD35Bot),
+                       ::testing::Values(4u, 8u, 14u, 20u)));
+
+TEST(TopologyBuilderTest, SingleSwitchHasNoLinks) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD26Media);
+  const auto attachment = PartitionCores(b.traffic, 1);
+  const auto topo = BuildSwitchTopology(b.traffic, attachment, 1);
+  EXPECT_EQ(topo.LinkCount(), 0u);
+}
+
+TEST(TopologyBuilderTest, DemandMatrixMatchesFlows) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore(), b = g.AddCore(), c = g.AddCore();
+  g.AddFlow(a, b, 100.0);
+  g.AddFlow(b, a, 50.0);
+  g.AddFlow(a, c, 25.0);
+  const std::vector<SwitchId> attachment = {SwitchId(0u), SwitchId(1u),
+                                            SwitchId(1u)};
+  const auto demand = InterSwitchDemand(g, attachment, 2);
+  EXPECT_DOUBLE_EQ(demand[0][1], 125.0);  // a->b plus a->c
+  EXPECT_DOUBLE_EQ(demand[1][0], 50.0);
+  EXPECT_DOUBLE_EQ(demand[0][0], 0.0);  // intra-switch not counted
+}
+
+TEST(TopologyBuilderTest, ZeroShortcutFactorGivesTreeOnly) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto attachment = PartitionCores(b.traffic, 9);
+  TopologyBuildOptions options;
+  options.shortcut_factor = 0.0;
+  const auto topo = BuildSwitchTopology(b.traffic, attachment, 9, options);
+  // Spanning tree over 9 switches = 8 undirected edges = 16 links.
+  EXPECT_EQ(topo.LinkCount(), 16u);
+}
+
+TEST(TopologyBuilderTest, ShortcutsIncreaseLinkCount) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+  const auto attachment = PartitionCores(b.traffic, 9);
+  TopologyBuildOptions tree_only;
+  tree_only.shortcut_factor = 0.0;
+  TopologyBuildOptions rich;
+  rich.shortcut_factor = 2.0;
+  const auto t0 = BuildSwitchTopology(b.traffic, attachment, 9, tree_only);
+  const auto t2 = BuildSwitchTopology(b.traffic, attachment, 9, rich);
+  EXPECT_GT(t2.LinkCount(), t0.LinkCount());
+}
+
+TEST(TopologyBuilderTest, Deterministic) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD38Tvo);
+  const auto attachment = PartitionCores(b.traffic, 11);
+  const auto t1 = BuildSwitchTopology(b.traffic, attachment, 11);
+  const auto t2 = BuildSwitchTopology(b.traffic, attachment, 11);
+  ASSERT_EQ(t1.LinkCount(), t2.LinkCount());
+  for (std::size_t l = 0; l < t1.LinkCount(); ++l) {
+    EXPECT_EQ(t1.LinkAt(LinkId(l)).src, t2.LinkAt(LinkId(l)).src);
+    EXPECT_EQ(t1.LinkAt(LinkId(l)).dst, t2.LinkAt(LinkId(l)).dst);
+  }
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,79 @@
+// Unit tests for the communication graph.
+#include "noc/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+TEST(TrafficTest, AddCoresAndFlows) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore("cpu");
+  const CoreId b = g.AddCore();
+  EXPECT_EQ(g.CoreCount(), 2u);
+  EXPECT_EQ(g.CoreName(a), "cpu");
+  EXPECT_EQ(g.CoreName(b), "core1");
+  const FlowId f = g.AddFlow(a, b, 150.0);
+  EXPECT_EQ(g.FlowCount(), 1u);
+  EXPECT_EQ(g.FlowAt(f).src, a);
+  EXPECT_EQ(g.FlowAt(f).dst, b);
+  EXPECT_DOUBLE_EQ(g.FlowAt(f).bandwidth_mbps, 150.0);
+}
+
+TEST(TrafficTest, SelfFlowRejected) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore();
+  EXPECT_THROW(g.AddFlow(a, a, 10.0), InvalidModelError);
+}
+
+TEST(TrafficTest, NegativeBandwidthRejected) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore(), b = g.AddCore();
+  EXPECT_THROW(g.AddFlow(a, b, -1.0), InvalidModelError);
+}
+
+TEST(TrafficTest, UnknownCoreRejected) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore();
+  EXPECT_THROW(g.AddFlow(a, CoreId(9u), 1.0), InvalidModelError);
+}
+
+TEST(TrafficTest, ParallelFlowsAllowed) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore(), b = g.AddCore();
+  const FlowId f1 = g.AddFlow(a, b, 10.0);
+  const FlowId f2 = g.AddFlow(a, b, 20.0);
+  EXPECT_NE(f1, f2);
+  EXPECT_EQ(g.FlowCount(), 2u);
+}
+
+TEST(TrafficTest, InOutFlowIndices) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore(), b = g.AddCore(), c = g.AddCore();
+  const FlowId ab = g.AddFlow(a, b, 1.0);
+  const FlowId ac = g.AddFlow(a, c, 2.0);
+  const FlowId cb = g.AddFlow(c, b, 3.0);
+  EXPECT_EQ(g.OutFlows(a), (std::vector<FlowId>{ab, ac}));
+  EXPECT_EQ(g.InFlows(b), (std::vector<FlowId>{ab, cb}));
+  EXPECT_TRUE(g.OutFlows(b).empty());
+}
+
+TEST(TrafficTest, TotalBandwidth) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore(), b = g.AddCore();
+  g.AddFlow(a, b, 10.0);
+  g.AddFlow(b, a, 30.0);
+  EXPECT_DOUBLE_EQ(g.TotalBandwidth(), 40.0);
+}
+
+TEST(TrafficTest, ZeroBandwidthAllowed) {
+  CommunicationGraph g;
+  const CoreId a = g.AddCore(), b = g.AddCore();
+  const FlowId f = g.AddFlow(a, b, 0.0);
+  EXPECT_DOUBLE_EQ(g.FlowAt(f).bandwidth_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,102 @@
+// Unit tests for deadlock-freedom certificates.
+#include "deadlock/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "deadlock/removal.h"
+#include "deadlock/resource_ordering.h"
+#include "test_helpers.h"
+
+namespace nocdr {
+namespace {
+
+TEST(VerifyTest, CyclicDesignGetsCounterexample) {
+  auto ex = testing::MakePaperExample();
+  const auto cert = CertifyDeadlockFreedom(ex.design);
+  EXPECT_FALSE(cert.deadlock_free);
+  EXPECT_TRUE(cert.topological_order.empty());
+  ASSERT_EQ(cert.counterexample.size(), 4u);
+  EXPECT_FALSE(CheckCertificate(ex.design, cert));
+}
+
+TEST(VerifyTest, RemovalProducesCheckableCertificate) {
+  auto ex = testing::MakePaperExample();
+  RemoveDeadlocks(ex.design);
+  const auto cert = CertifyDeadlockFreedom(ex.design);
+  EXPECT_TRUE(cert.deadlock_free);
+  EXPECT_EQ(cert.topological_order.size(),
+            ex.design.topology.ChannelCount());
+  EXPECT_TRUE(CheckCertificate(ex.design, cert));
+}
+
+TEST(VerifyTest, ResourceOrderingProducesCheckableCertificate) {
+  auto ex = testing::MakePaperExample();
+  ApplyResourceOrdering(ex.design);
+  const auto cert = CertifyDeadlockFreedom(ex.design);
+  EXPECT_TRUE(cert.deadlock_free);
+  EXPECT_TRUE(CheckCertificate(ex.design, cert));
+}
+
+TEST(VerifyTest, TamperedOrderIsRejected) {
+  auto ex = testing::MakePaperExample();
+  RemoveDeadlocks(ex.design);
+  auto cert = CertifyDeadlockFreedom(ex.design);
+  ASSERT_TRUE(cert.deadlock_free);
+  ASSERT_GE(cert.topological_order.size(), 2u);
+  std::swap(cert.topological_order.front(), cert.topological_order.back());
+  // Swapping the extremes of the order must break some route's
+  // monotonicity (both endpoints carry traffic in this design).
+  EXPECT_FALSE(CheckCertificate(ex.design, cert));
+}
+
+TEST(VerifyTest, TruncatedOrderIsRejected) {
+  auto ex = testing::MakePaperExample();
+  RemoveDeadlocks(ex.design);
+  auto cert = CertifyDeadlockFreedom(ex.design);
+  cert.topological_order.pop_back();
+  EXPECT_FALSE(CheckCertificate(ex.design, cert));
+}
+
+TEST(VerifyTest, DuplicateEntryIsRejected) {
+  auto ex = testing::MakePaperExample();
+  RemoveDeadlocks(ex.design);
+  auto cert = CertifyDeadlockFreedom(ex.design);
+  cert.topological_order.back() = cert.topological_order.front();
+  EXPECT_FALSE(CheckCertificate(ex.design, cert));
+}
+
+TEST(VerifyTest, ForgedPositiveVerdictIsRejected) {
+  // Claiming deadlock freedom for a cyclic design with an arbitrary
+  // order must fail the route-monotonicity check.
+  auto ex = testing::MakePaperExample();
+  DeadlockCertificate forged;
+  forged.deadlock_free = true;
+  for (std::size_t c = 0; c < ex.design.topology.ChannelCount(); ++c) {
+    forged.topological_order.push_back(ChannelId(c));
+  }
+  EXPECT_FALSE(CheckCertificate(ex.design, forged));
+}
+
+class VerifyPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifyPropertySweep, CertificateAgreesWithIsDeadlockFree) {
+  auto d = testing::MakeRandomDesign(GetParam());
+  const auto cert = CertifyDeadlockFreedom(d);
+  EXPECT_EQ(cert.deadlock_free, IsDeadlockFree(d));
+  if (cert.deadlock_free) {
+    EXPECT_TRUE(CheckCertificate(d, cert));
+  } else {
+    EXPECT_GE(cert.counterexample.size(), 2u);
+  }
+  // After removal the certificate must always check out.
+  RemoveDeadlocks(d);
+  const auto fixed = CertifyDeadlockFreedom(d);
+  EXPECT_TRUE(fixed.deadlock_free);
+  EXPECT_TRUE(CheckCertificate(d, fixed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyPropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace nocdr
