@@ -13,6 +13,7 @@
 #include "deadlock/removal.h"
 #include "sim/simulator.h"
 #include "test_support_designs.h"
+#include "util/json.h"
 #include "util/table.h"
 
 using namespace nocdr;
@@ -38,6 +39,7 @@ int main() {
   TextTable table;
   table.SetHeader({"buffer depth", "untreated ring", "after removal",
                    "removal VCs"});
+  BenchJsonWriter json("ablation_buffers");
   for (std::uint16_t depth : {1, 2, 4, 8, 16, 32}) {
     auto untreated = bench::MakeRing(6, 2);
     auto treated = untreated;
@@ -53,8 +55,18 @@ int main() {
              ? "DEADLOCK (bug!)"
              : (after.AllDelivered() ? "completed" : "timeout"),
          std::to_string(report.vcs_added)});
+    json.AddRow(JsonObject()
+                    .Set("design", "ring6x2")
+                    .Set("buffer_depth", depth)
+                    .Set("untreated_deadlocked", before.deadlocked)
+                    .Set("treated_deadlocked", after.deadlocked)
+                    .Set("treated_all_delivered", after.AllDelivered())
+                    .Set("removal_vcs", report.vcs_added));
   }
   table.Print(std::cout);
+  if (const std::string path = json.Write(); !path.empty()) {
+    std::cout << "rows written to " << path << "\n";
+  }
   std::cout
       << "\nExpected shape: the untreated ring freezes at EVERY depth. "
          "Wormhole channel ownership is released only when the tail\n"

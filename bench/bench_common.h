@@ -6,16 +6,64 @@
 // the quantities the paper plots: extra VCs, switch area, total power.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "deadlock/removal.h"
 #include "deadlock/resource_ordering.h"
 #include "power/model.h"
+#include "runner/sweep.h"
 #include "soc/benchmarks.h"
 #include "synth/synthesizer.h"
+#include "test_support_designs.h"
 
 namespace nocdr::bench {
+
+/// Milliseconds elapsed since \p start.
+inline double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One arm of a removal-options ablation.
+struct AblationArm {
+  std::string label;
+  RemovalOptions options;
+};
+
+/// Runs corpus × arms through SweepRunner; rows come back design-major
+/// (rows[d * arms.size() + a] is design d under arm a).
+inline std::vector<runner::SweepRow> RunCorpusSweep(
+    const std::vector<std::pair<std::string, DesignFactory>>& corpus,
+    const std::vector<AblationArm>& arms) {
+  std::vector<runner::SweepJob> jobs;
+  for (const auto& [name, make] : corpus) {
+    for (const AblationArm& arm : arms) {
+      runner::SweepJob job;
+      job.design = name;
+      job.variant = arm.label;
+      job.options = arm.options;
+      job.factory = [make = make](Rng&) { return make(); };
+      jobs.push_back(std::move(job));
+    }
+  }
+  return runner::SweepRunner{}.Run(jobs);
+}
+
+/// Prints a diagnostic and returns true if \p row captured an error.
+inline bool RowFailed(const runner::SweepRow& row) {
+  if (row.error.empty()) {
+    return false;
+  }
+  std::cout << "JOB FAILED: " << row.design << "/" << row.variant << ": "
+            << row.error << "\n";
+  return true;
+}
 
 /// Results of applying one deadlock-handling method.
 struct MethodOutcome {

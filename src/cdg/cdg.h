@@ -11,9 +11,23 @@
 // works exclusively on this graph and maps its operations back to the
 // topology (duplicate vertex = add VC) and the routes (edge removal =
 // re-route the flows that created it).
+//
+// Storage is CSR-style: one flat adjacency pool holds every vertex's
+// out-edge slots contiguously (sorted by target id), with per-vertex
+// slack capacity so the removal loop can mutate the graph in place via
+// the incremental API (AddEdges / RemoveEdges / ApplyBreak) instead of
+// re-deriving it from the design after every break. The representation is
+// canonical — adjacency sorted by target, flow annotations sorted by flow
+// id — so a graph reached through increments is indistinguishable from a
+// from-scratch Build of the same design (see SameDependencies), and every
+// order-sensitive consumer (the cycle searches) behaves identically on
+// both.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -26,44 +40,110 @@ namespace nocdr {
 struct CdgEdge {
   ChannelId from;
   ChannelId to;
-  /// Flows whose route contains the consecutive pair (from, to).
+  /// Flows whose route contains the consecutive pair (from, to), in
+  /// ascending FlowId order.
   std::vector<FlowId> flows;
 };
 
 /// The channel dependency graph of one NoC design.
 class ChannelDependencyGraph {
  public:
+  /// One slot of the adjacency pool: the target vertex plus the index of
+  /// the full edge record in Edges(). The target is duplicated here so the
+  /// cycle searches never touch the (colder) edge records.
+  struct OutEdgeRef {
+    ChannelId to;
+    std::uint32_t edge = 0;
+  };
+
   /// Builds the CDG of \p design from its routes. The design is not
-  /// retained; the graph is a snapshot.
+  /// retained; the graph is a snapshot that the incremental API can keep
+  /// in sync with subsequent design mutations.
   static ChannelDependencyGraph Build(const NocDesign& design);
 
-  /// Number of vertices (= channels of the topology at build time).
-  [[nodiscard]] std::size_t VertexCount() const { return out_edges_.size(); }
+  /// Number of vertices (= channels of the topology at build time, plus
+  /// any vertices added through EnsureVertices).
+  [[nodiscard]] std::size_t VertexCount() const { return spans_.size(); }
 
   [[nodiscard]] std::size_t EdgeCount() const { return edges_.size(); }
 
   [[nodiscard]] const CdgEdge& EdgeAt(std::size_t index) const;
 
-  /// Indices into edges() of the edges leaving \p c.
-  [[nodiscard]] const std::vector<std::size_t>& OutEdges(ChannelId c) const;
+  /// Out-edge slots of \p c, sorted by target channel id.
+  [[nodiscard]] std::span<const OutEdgeRef> OutEdges(ChannelId c) const;
 
   /// Index of edge (from, to) if present.
   [[nodiscard]] std::optional<std::size_t> FindEdge(ChannelId from,
                                                     ChannelId to) const;
 
-  /// Successor channels of \p c (one per out-edge).
+  /// Successor channels of \p c, sorted by channel id.
   [[nodiscard]] std::vector<ChannelId> Successors(ChannelId c) const;
 
+  /// Every live edge. Iteration order is an implementation detail (edge
+  /// deletion swap-removes); use OutEdges for a canonical order.
   [[nodiscard]] const std::vector<CdgEdge>& Edges() const { return edges_; }
 
+  // ----------------------------------------------------------------------
+  // Incremental update API. The removal loop mutates the design (adds VCs,
+  // re-routes flows) and mirrors each mutation here, which is O(touched
+  // routes) instead of the O(all routes) of a full rebuild.
+
+  /// Grows the vertex set to \p count (e.g. after the topology gained
+  /// channels). Shrinking is not supported; smaller counts are ignored.
+  void EnsureVertices(std::size_t count);
+
+  /// Registers every consecutive channel pair of \p route as a dependency
+  /// created by \p flow, adding edges as needed.
+  void AddEdges(const Route& route, FlowId flow);
+
+  /// Removes \p flow from every consecutive channel pair of \p route;
+  /// edges that lose their last flow are deleted. Throws InvalidModelError
+  /// if \p route names a dependency the graph does not attribute to
+  /// \p flow — that means the graph fell out of sync with the design.
+  void RemoveEdges(const Route& route, FlowId flow);
+
+  /// Mirrors one break operation: \p rerouted_flows had \p old_routes
+  /// before the break and now have their current routes in \p design,
+  /// which also owns any freshly added channels. Equivalent to (but much
+  /// cheaper than) rebuilding from \p design.
+  void ApplyBreak(const NocDesign& design,
+                  const std::vector<FlowId>& rerouted_flows,
+                  const std::vector<Route>& old_routes);
+
+  /// True iff \p other represents exactly the same dependencies: same
+  /// vertex count, same edge set, same per-edge flow annotations. Both
+  /// representations are canonical, so this is a structural comparison.
+  [[nodiscard]] bool SameDependencies(
+      const ChannelDependencyGraph& other) const;
+
  private:
-  std::vector<CdgEdge> edges_;
-  std::vector<std::vector<std::size_t>> out_edges_;  // per channel
-  std::unordered_map<std::uint64_t, std::size_t> edge_index_;
+  /// Adjacency span of one vertex inside the flat pool.
+  struct VertexSpan {
+    std::uint32_t begin = 0;
+    std::uint32_t size = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  void AddDependency(ChannelId from, ChannelId to, FlowId flow);
+  void RemoveDependency(ChannelId from, ChannelId to, FlowId flow);
+  /// Inserts an adjacency slot for (from -> to) keeping the span sorted.
+  void InsertSlot(ChannelId from, OutEdgeRef ref);
+  /// Removes the adjacency slot with target \p to from \p from's span.
+  void EraseSlot(ChannelId from, ChannelId to);
+  /// Points from's slot targeting \p to at \p edge (after a swap-remove).
+  void RetargetSlot(ChannelId from, ChannelId to, std::uint32_t edge);
+  /// Rewrites the pool without slack holes once they dominate.
+  void MaybeCompact();
 
   static std::uint64_t Key(ChannelId from, ChannelId to) {
     return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
   }
+
+  std::vector<CdgEdge> edges_;  // dense: deletion swap-removes
+  std::vector<OutEdgeRef> pool_;
+  std::vector<VertexSpan> spans_;  // per vertex
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index_;
+  std::size_t live_slots_ = 0;  // pool_ slots currently inside a span
 };
 
 }  // namespace nocdr

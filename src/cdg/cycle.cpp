@@ -22,10 +22,9 @@ bool IsAcyclic(const ChannelDependencyGraph& graph) {
     const ChannelId v = ready.front();
     ready.pop_front();
     ++removed;
-    for (std::size_t e : graph.OutEdges(v)) {
-      const ChannelId w = graph.EdgeAt(e).to;
-      if (--in_degree[w.value()] == 0) {
-        ready.push_back(w);
+    for (const auto& ref : graph.OutEdges(v)) {
+      if (--in_degree[ref.to.value()] == 0) {
+        ready.push_back(ref.to);
       }
     }
   }
@@ -42,8 +41,8 @@ std::optional<CdgCycle> ShortestCycleThrough(
   std::deque<ChannelId> queue;
 
   // Seed with the successors of `start` (a closed walk must leave first).
-  for (std::size_t e : graph.OutEdges(start)) {
-    const ChannelId w = graph.EdgeAt(e).to;
+  for (const auto& ref : graph.OutEdges(start)) {
+    const ChannelId w = ref.to;
     if (w == start) {
       // Self-loop (a route repeating a channel); degenerate 1-cycle.
       return CdgCycle{start};
@@ -56,8 +55,8 @@ std::optional<CdgCycle> ShortestCycleThrough(
   while (!queue.empty()) {
     const ChannelId v = queue.front();
     queue.pop_front();
-    for (std::size_t e : graph.OutEdges(v)) {
-      const ChannelId w = graph.EdgeAt(e).to;
+    for (const auto& ref : graph.OutEdges(v)) {
+      const ChannelId w = ref.to;
       if (w == start) {
         CdgCycle cycle;
         for (ChannelId cur = v; cur != start;
@@ -121,6 +120,19 @@ std::optional<CdgCycle> LargestShortestCycle(
   return SelectCycle(graph, [](const CdgCycle& a, const CdgCycle& b) {
     return a.size() > b.size();
   });
+}
+
+std::optional<CdgCycle> PickCycle(const ChannelDependencyGraph& graph,
+                                  CyclePolicy policy) {
+  switch (policy) {
+    case CyclePolicy::kSmallestFirst:
+      return SmallestCycle(graph);
+    case CyclePolicy::kFirstFound:
+      return FirstCycle(graph);
+    case CyclePolicy::kLargestFirst:
+      return LargestShortestCycle(graph);
+  }
+  return std::nullopt;
 }
 
 }  // namespace nocdr

@@ -6,6 +6,12 @@
 // Breaking small cycles first is the paper's heuristic — a short cycle
 // often shares edges with longer ones, so removing it can kill several
 // cycles at once and it is also the cheapest to reason about.
+//
+// All searches here iterate successors in ascending channel-id order (the
+// CDG stores adjacency sorted), so their results depend only on the edge
+// *set* of the graph, never on how that set was reached. This is what lets
+// the incremental removal engine (cdg/incremental.h) cache per-vertex
+// results and still agree bit-for-bit with a from-scratch search.
 #pragma once
 
 #include <optional>
@@ -20,12 +26,21 @@ namespace nocdr {
 /// are (c_i, c_{i+1}) for i < m-1 plus the closing edge (c_{m-1}, c0).
 using CdgCycle = std::vector<ChannelId>;
 
+/// Cycle-selection policy; the paper uses smallest-first, the others exist
+/// for the ablation study.
+enum class CyclePolicy {
+  kSmallestFirst,
+  kFirstFound,
+  kLargestFirst,
+};
+
 /// True iff the graph has no directed cycle (Kahn's algorithm); by
 /// Dally/Towles this is exactly the deadlock-freedom condition.
 bool IsAcyclic(const ChannelDependencyGraph& graph);
 
 /// Shortest cycle through \p start (BFS), if any. Ties broken by BFS
-/// discovery order, which is deterministic.
+/// discovery order over id-sorted successors, which is deterministic and
+/// representation-independent.
 std::optional<CdgCycle> ShortestCycleThrough(
     const ChannelDependencyGraph& graph, ChannelId start);
 
@@ -42,5 +57,9 @@ std::optional<CdgCycle> FirstCycle(const ChannelDependencyGraph& graph);
 /// (note this is *not* the global longest cycle, which is NP-hard).
 std::optional<CdgCycle> LargestShortestCycle(
     const ChannelDependencyGraph& graph);
+
+/// Dispatches to the search matching \p policy (full scan, no caching).
+std::optional<CdgCycle> PickCycle(const ChannelDependencyGraph& graph,
+                                  CyclePolicy policy);
 
 }  // namespace nocdr

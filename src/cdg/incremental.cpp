@@ -1,0 +1,207 @@
+#include "cdg/incremental.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace nocdr {
+
+std::optional<CdgCycle> DirtyCycleFinder::Pick(CyclePolicy policy) {
+  ++stats_.picks;
+  Refresh();
+
+  const std::size_t n = graph_.VertexCount();
+  std::optional<std::size_t> best;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!cycle_[v]) {
+      continue;
+    }
+    switch (policy) {
+      case CyclePolicy::kFirstFound:
+        return cycle_[v];
+      case CyclePolicy::kSmallestFirst:
+        if (!best || cycle_[v]->size() < cycle_[*best]->size()) {
+          best = v;
+        }
+        break;
+      case CyclePolicy::kLargestFirst:
+        if (!best || cycle_[v]->size() > cycle_[*best]->size()) {
+          best = v;
+        }
+        break;
+    }
+  }
+  if (!best) {
+    return std::nullopt;
+  }
+  return cycle_[*best];
+}
+
+void DirtyCycleFinder::Refresh() {
+  const std::size_t n = graph_.VertexCount();
+  cycle_.resize(n);
+  valid_.resize(n, 0);
+
+  const std::uint32_t scc_count = ComputeSccs();
+  // Component size and whether a fresh (post-previous-pick) vertex joined.
+  std::vector<std::uint32_t> scc_size(scc_count, 0);
+  std::vector<char> scc_fresh(scc_count, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    ++scc_size[scc_[v]];
+    if (v >= known_vertices_) {
+      scc_fresh[scc_[v]] = 1;
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const ChannelId c{v};
+    const std::uint32_t comp = scc_[v];
+    const bool can_cycle =
+        scc_size[comp] > 1 || graph_.FindEdge(c, c).has_value();
+    if (!can_cycle) {
+      cycle_[v] = std::nullopt;
+      valid_[v] = 1;
+      ++stats_.trivial_skips;
+      continue;
+    }
+    const bool reusable = valid_[v] && !scc_fresh[comp] && cycle_[v] &&
+                          CycleStillPresent(*cycle_[v]);
+    if (reusable) {
+      ++stats_.cache_hits;
+      continue;
+    }
+    cycle_[v] = BfsWithinScc(c, comp);
+    valid_[v] = 1;
+    ++stats_.bfs_runs;
+  }
+  known_vertices_ = n;
+}
+
+std::uint32_t DirtyCycleFinder::ComputeSccs() {
+  const std::size_t n = graph_.VertexCount();
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  scc_.assign(n, kUnset);
+  std::vector<std::uint32_t> index(n, kUnset);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t scc_count = 0;
+
+  // Explicit DFS frame: vertex plus position in its out-edge span.
+  struct Frame {
+    std::uint32_t vertex;
+    std::uint32_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnset) {
+      continue;
+    }
+    frames.push_back({static_cast<std::uint32_t>(root), 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::uint32_t v = frame.vertex;
+      if (frame.edge_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      const auto out = graph_.OutEdges(ChannelId(v));
+      bool descended = false;
+      while (frame.edge_pos < out.size()) {
+        const std::uint32_t w = out[frame.edge_pos].to.value();
+        ++frame.edge_pos;
+        if (index[w] == kUnset) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      // v is finished: close its component if it is a root.
+      if (lowlink[v] == index[v]) {
+        std::uint32_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc_[w] = scc_count;
+        } while (w != v);
+        ++scc_count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::uint32_t parent = frames.back().vertex;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return scc_count;
+}
+
+std::optional<CdgCycle> DirtyCycleFinder::BfsWithinScc(ChannelId start,
+                                                       std::uint32_t scc) {
+  // Mirrors ShortestCycleThrough exactly, except vertices outside start's
+  // SCC are never enqueued: no closed walk through start can leave the
+  // component, and in-component vertices are only ever discovered from
+  // in-component parents, so the BFS tree restricted to the component is
+  // unchanged and the returned cycle is identical.
+  const std::size_t n = graph_.VertexCount();
+  parent_.resize(n);
+  stamp_.resize(n, 0);
+  ++epoch_;
+
+  std::deque<ChannelId> queue;
+  for (const auto& ref : graph_.OutEdges(start)) {
+    const ChannelId w = ref.to;
+    if (w == start) {
+      return CdgCycle{start};
+    }
+    if (scc_[w.value()] == scc && stamp_[w.value()] != epoch_) {
+      stamp_[w.value()] = epoch_;
+      parent_[w.value()] = start.value();
+      queue.push_back(w);
+    }
+  }
+  while (!queue.empty()) {
+    const ChannelId v = queue.front();
+    queue.pop_front();
+    for (const auto& ref : graph_.OutEdges(v)) {
+      const ChannelId w = ref.to;
+      if (w == start) {
+        CdgCycle cycle;
+        for (ChannelId cur = v; cur != start;
+             cur = ChannelId(parent_[cur.value()])) {
+          cycle.push_back(cur);
+        }
+        cycle.push_back(start);
+        std::reverse(cycle.begin(), cycle.end());
+        return cycle;
+      }
+      if (scc_[w.value()] == scc && stamp_[w.value()] != epoch_) {
+        stamp_[w.value()] = epoch_;
+        parent_[w.value()] = v.value();
+        queue.push_back(w);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool DirtyCycleFinder::CycleStillPresent(const CdgCycle& cycle) const {
+  const std::size_t m = cycle.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!graph_.FindEdge(cycle[i], cycle[(i + 1) % m])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nocdr

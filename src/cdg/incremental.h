@@ -1,0 +1,91 @@
+// Dirty-vertex shortest-cycle search for the incremental removal engine.
+//
+// The removal loop asks for the globally smallest CDG cycle after every
+// break. A from-scratch answer BFS-scans every vertex (cycle.h), which is
+// the hot path of Algorithm 1 on large designs. This finder caches the
+// per-vertex shortest cycle between picks and re-scans only the vertices
+// whose answer a break could have changed.
+//
+// Why the cache stays exact (the selection is bit-identical to a full
+// SmallestCycle/FirstCycle/LargestShortestCycle scan on the current
+// graph):
+//   * A break only (a) removes dependencies and (b) adds dependencies
+//     incident to freshly duplicated channels — BreakCycle re-routes
+//     flows onto brand-new VCs, so every structurally new edge touches a
+//     vertex that did not exist at the previous pick.
+//   * Removing edges never shortens a cycle; a cached cycle whose edges
+//     all still exist therefore remains a shortest cycle through its
+//     start vertex, and (because successors are scanned in sorted order
+//     and competing candidates can only move later in BFS order when
+//     edges disappear) it is exactly the cycle a fresh BFS would return.
+//   * A *shorter or new* cycle through v must use an added edge, hence a
+//     fresh vertex, and any cycle through v lies entirely inside v's
+//     strongly connected component — so it can only appear when a fresh
+//     vertex joined that component.
+// Each pick therefore runs one Tarjan SCC pass (O(V+E)) and re-BFSes
+// only: vertices of SCCs containing fresh vertices, vertices whose cached
+// cycle lost an edge, and vertices never scanned before. Vertices in
+// trivial SCCs (no self-loop) are cycle-free by definition and are never
+// scanned at all. The per-iteration equivalence is asserted against the
+// full scan by tests/test_cdg_incremental.cpp across the whole corpus.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+
+namespace nocdr {
+
+/// Incremental replacement for the full-scan cycle searches of cycle.h.
+/// Holds a reference to the graph it serves; the graph may be mutated
+/// (via its incremental API) between Pick calls, but not destroyed.
+class DirtyCycleFinder {
+ public:
+  explicit DirtyCycleFinder(const ChannelDependencyGraph& graph)
+      : graph_(graph) {}
+
+  /// The cycle PickCycle(graph, policy) would return on the current
+  /// graph, at amortized dirty-vertex cost. Returns nullopt when acyclic.
+  std::optional<CdgCycle> Pick(CyclePolicy policy);
+
+  /// Work counters, for perf reporting and the scalability bench.
+  struct Stats {
+    std::size_t picks = 0;
+    /// Vertices whose shortest cycle was recomputed by BFS.
+    std::size_t bfs_runs = 0;
+    /// Vertices whose cached shortest cycle was reused.
+    std::size_t cache_hits = 0;
+    /// Vertices skipped because their SCC cannot contain a cycle.
+    std::size_t trivial_skips = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Runs Tarjan + dirty classification and refreshes cycle_/valid_.
+  void Refresh();
+  /// Iterative Tarjan; fills scc_ and returns the number of components.
+  std::uint32_t ComputeSccs();
+  /// ShortestCycleThrough restricted to start's SCC (identical result,
+  /// smaller frontier).
+  std::optional<CdgCycle> BfsWithinScc(ChannelId start, std::uint32_t scc);
+  /// True iff every edge of \p cycle still exists.
+  [[nodiscard]] bool CycleStillPresent(const CdgCycle& cycle) const;
+
+  const ChannelDependencyGraph& graph_;
+  /// Vertices that existed at the previous Pick; anything beyond is fresh.
+  std::size_t known_vertices_ = 0;
+  std::vector<std::optional<CdgCycle>> cycle_;  // per vertex
+  std::vector<char> valid_;                     // per vertex
+  std::vector<std::uint32_t> scc_;              // per vertex, scratch
+  /// BFS scratch: parent pointers with epoch stamps so repeated searches
+  /// need no O(V) clear.
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nocdr

@@ -9,7 +9,8 @@ namespace nocdr {
 
 BreakResult BreakCycle(NocDesign& design, const CdgCycle& cycle,
                        std::size_t edge_pos, BreakDirection direction,
-                       DuplicationMode mode) {
+                       DuplicationMode mode,
+                       const std::vector<FlowId>* candidate_flows) {
   Require(!cycle.empty(), "BreakCycle: empty cycle");
   Require(edge_pos < cycle.size(), "BreakCycle: edge position out of range");
   const std::size_t m = cycle.size();
@@ -43,8 +44,11 @@ BreakResult BreakCycle(NocDesign& design, const CdgCycle& cycle,
     return fresh;
   };
 
-  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
-    const FlowId f(fi);
+  const std::size_t scan_count = candidate_flows
+                                     ? candidate_flows->size()
+                                     : design.traffic.FlowCount();
+  for (std::size_t fi = 0; fi < scan_count; ++fi) {
+    const FlowId f = candidate_flows ? (*candidate_flows)[fi] : FlowId(fi);
     Route& route = design.routes.MutableRouteOf(f);
     // Routes never repeat a channel (validated on construction), so the
     // broken pair occurs at most once per route.
@@ -58,6 +62,7 @@ BreakResult BreakCycle(NocDesign& design, const CdgCycle& cycle,
     if (pair_at == route.size()) {
       continue;  // this flow does not create the broken dependency
     }
+    result.old_routes.push_back(route);
     if (direction == BreakDirection::kForward) {
       for (std::size_t j = 0; j <= pair_at; ++j) {
         if (in_cycle.contains(route[j])) {

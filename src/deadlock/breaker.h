@@ -39,6 +39,10 @@ struct BreakResult {
   std::vector<ChannelId> added_channels;
   /// Flows whose route was modified.
   std::vector<FlowId> rerouted_flows;
+  /// The routes those flows had before the break, in rerouted_flows
+  /// order; lets ChannelDependencyGraph::ApplyBreak mirror the break
+  /// without re-deriving the graph from the design.
+  std::vector<Route> old_routes;
 };
 
 /// Breaks \p cycle at edge \p edge_pos in \p direction, mutating the
@@ -46,8 +50,14 @@ struct BreakResult {
 /// of added channels equals the combined cost of that edge in the
 /// corresponding cost table. Throws InvalidModelError if no flow creates
 /// the chosen edge.
+///
+/// \p candidate_flows, when given, restricts the re-route scan to those
+/// flows (ascending FlowId order); the CDG annotation of the broken edge
+/// lists exactly the flows that create it, so passing it is equivalent to
+/// scanning every flow. Pass nullptr to scan all flows.
 BreakResult BreakCycle(NocDesign& design, const CdgCycle& cycle,
                        std::size_t edge_pos, BreakDirection direction,
-                       DuplicationMode mode = DuplicationMode::kVirtualChannel);
+                       DuplicationMode mode = DuplicationMode::kVirtualChannel,
+                       const std::vector<FlowId>* candidate_flows = nullptr);
 
 }  // namespace nocdr

@@ -22,16 +22,19 @@ std::unordered_map<ChannelId, std::size_t> CyclePositions(
 
 }  // namespace
 
-CycleCostTable ComputeCycleCostTable(const NocDesign& design,
-                                     const CdgCycle& cycle,
-                                     BreakDirection direction) {
+CycleCostTable ComputeCycleCostTable(
+    const NocDesign& design, const CdgCycle& cycle, BreakDirection direction,
+    const std::vector<FlowId>* candidate_flows) {
   Require(!cycle.empty(), "ComputeCycleCostTable: empty cycle");
   const std::size_t m = cycle.size();
   const auto pos = CyclePositions(cycle);
 
+  const std::size_t scan_count = candidate_flows
+                                     ? candidate_flows->size()
+                                     : design.traffic.FlowCount();
   CycleCostTable table;
-  for (std::size_t fi = 0; fi < design.traffic.FlowCount(); ++fi) {
-    const FlowId f(fi);
+  for (std::size_t fi = 0; fi < scan_count; ++fi) {
+    const FlowId f = candidate_flows ? (*candidate_flows)[fi] : FlowId(fi);
     const Route& route = design.routes.RouteOf(f);
 
     // Count of cycle vertices along the walk (the paper's `val`), walked
@@ -92,10 +95,11 @@ CycleCostTable ComputeCycleCostTable(const NocDesign& design,
   return table;
 }
 
-BreakCandidate FindDepToBreak(const NocDesign& design, const CdgCycle& cycle,
-                              BreakDirection direction) {
+BreakCandidate FindDepToBreak(
+    const NocDesign& design, const CdgCycle& cycle, BreakDirection direction,
+    const std::vector<FlowId>* candidate_flows) {
   const CycleCostTable table =
-      ComputeCycleCostTable(design, cycle, direction);
+      ComputeCycleCostTable(design, cycle, direction, candidate_flows);
   BreakCandidate best;
   best.direction = direction;
   for (std::size_t p = 0; p < table.combined.size(); ++p) {

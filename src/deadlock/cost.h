@@ -58,13 +58,21 @@ struct BreakCandidate {
 /// Builds the full cost table for breaking \p cycle in \p direction
 /// (FindDepToBreakForward / ...Backward of the paper, with the table
 /// exposed). \p cycle must be a genuine cycle of the design's CDG.
-CycleCostTable ComputeCycleCostTable(const NocDesign& design,
-                                     const CdgCycle& cycle,
-                                     BreakDirection direction);
+///
+/// \p candidate_flows, when given, restricts the scan to those flows
+/// (ascending FlowId order). Only flows that create at least one cycle
+/// edge contribute a row, and the CDG's per-edge flow annotations name
+/// exactly those flows — so passing the union of the cycle edges' flow
+/// lists produces the identical table at a fraction of the cost. Pass
+/// nullptr to scan every flow of the design.
+CycleCostTable ComputeCycleCostTable(
+    const NocDesign& design, const CdgCycle& cycle, BreakDirection direction,
+    const std::vector<FlowId>* candidate_flows = nullptr);
 
 /// The paper's FindDepToBreak{Forward,Backward}: minimum combined cost and
 /// its edge position (first minimum wins, deterministically).
-BreakCandidate FindDepToBreak(const NocDesign& design, const CdgCycle& cycle,
-                              BreakDirection direction);
+BreakCandidate FindDepToBreak(
+    const NocDesign& design, const CdgCycle& cycle, BreakDirection direction,
+    const std::vector<FlowId>* candidate_flows = nullptr);
 
 }  // namespace nocdr

@@ -1,6 +1,9 @@
 #include "deadlock/removal.h"
 
+#include <algorithm>
+
 #include "cdg/cdg.h"
+#include "cdg/incremental.h"
 #include "deadlock/breaker.h"
 #include "util/error.h"
 
@@ -8,84 +11,128 @@ namespace nocdr {
 
 namespace {
 
-std::optional<CdgCycle> PickCycle(const ChannelDependencyGraph& cdg,
-                                  CyclePolicy policy) {
-  switch (policy) {
-    case CyclePolicy::kSmallestFirst:
-      return SmallestCycle(cdg);
-    case CyclePolicy::kFirstFound:
-      return FirstCycle(cdg);
-    case CyclePolicy::kLargestFirst:
-      return LargestShortestCycle(cdg);
+/// Ascending union of the flow annotations on the cycle's edges — by the
+/// CDG definition, exactly the flows that can contribute to any cost
+/// table row or need re-routing for any break of this cycle.
+std::vector<FlowId> CycleFlowUnion(const ChannelDependencyGraph& cdg,
+                                   const CdgCycle& cycle) {
+  std::vector<FlowId> flows;
+  const std::size_t m = cycle.size();
+  for (std::size_t p = 0; p < m; ++p) {
+    const auto edge = cdg.FindEdge(cycle[p], cycle[(p + 1) % m]);
+    Require(edge.has_value(),
+            "CycleFlowUnion: cycle edge missing from the CDG");
+    const auto& edge_flows = cdg.EdgeAt(*edge).flows;
+    flows.insert(flows.end(), edge_flows.begin(), edge_flows.end());
   }
-  return std::nullopt;
+  std::sort(flows.begin(), flows.end());
+  flows.erase(std::unique(flows.begin(), flows.end()), flows.end());
+  return flows;
 }
 
 BreakCandidate PickBreak(const NocDesign& design, const CdgCycle& cycle,
-                         DirectionPolicy policy) {
+                         DirectionPolicy policy,
+                         const std::vector<FlowId>& candidates) {
   switch (policy) {
     case DirectionPolicy::kForwardOnly:
-      return FindDepToBreak(design, cycle, BreakDirection::kForward);
+      return FindDepToBreak(design, cycle, BreakDirection::kForward,
+                            &candidates);
     case DirectionPolicy::kBackwardOnly:
-      return FindDepToBreak(design, cycle, BreakDirection::kBackward);
+      return FindDepToBreak(design, cycle, BreakDirection::kBackward,
+                            &candidates);
     case DirectionPolicy::kBoth:
       break;
   }
   // Algorithm 1, steps 5-11: evaluate both directions, keep the cheaper;
   // forward wins ties (the paper's `if f_cost <= b_cost`).
   const BreakCandidate fwd =
-      FindDepToBreak(design, cycle, BreakDirection::kForward);
+      FindDepToBreak(design, cycle, BreakDirection::kForward, &candidates);
   const BreakCandidate bwd =
-      FindDepToBreak(design, cycle, BreakDirection::kBackward);
+      FindDepToBreak(design, cycle, BreakDirection::kBackward, &candidates);
   return fwd.cost <= bwd.cost ? fwd : bwd;
 }
 
-}  // namespace
+/// Applies the chosen break and records it; shared by both engines.
+void ApplyAndRecord(NocDesign& design, const ChannelDependencyGraph& cdg,
+                    const CdgCycle& cycle, const RemovalOptions& options,
+                    RemovalReport& report, BreakResult& applied_out) {
+  if (report.iterations >= options.max_iterations) {
+    throw AlgorithmLimitError("RemoveDeadlocks: iteration cap exceeded (" +
+                              std::to_string(options.max_iterations) + ")");
+  }
+  const std::vector<FlowId> candidates = CycleFlowUnion(cdg, cycle);
+  const BreakCandidate chosen =
+      PickBreak(design, cycle, options.direction_policy, candidates);
+  applied_out = BreakCycle(design, cycle, chosen.edge_pos, chosen.direction,
+                           options.duplication, &candidates);
 
-RemovalReport RemoveDeadlocks(NocDesign& design,
-                              const RemovalOptions& options) {
+  // Sharing duplicates between flows must keep the realized VC count at
+  // the predicted cost; a mismatch means the cost table lied.
+  Require(applied_out.added_channels.size() == chosen.cost,
+          "RemoveDeadlocks: realized VC count differs from predicted cost");
+  if (options.paranoid_validation) {
+    design.Validate();
+  }
+
+  RemovalStep step;
+  step.cycle_length = cycle.size();
+  step.direction = chosen.direction;
+  step.edge_pos = chosen.edge_pos;
+  step.cost = chosen.cost;
+  step.vcs_added = applied_out.added_channels.size();
+  step.flows_rerouted = applied_out.rerouted_flows.size();
+  report.steps.push_back(step);
+  report.vcs_added += step.vcs_added;
+  report.flows_rerouted += step.flows_rerouted;
+  ++report.iterations;
+}
+
+RemovalReport RemoveDeadlocksRebuild(NocDesign& design,
+                                     const RemovalOptions& options) {
   RemovalReport report;
   ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
   std::optional<CdgCycle> cycle = PickCycle(cdg, options.cycle_policy);
   report.initially_deadlock_free = !cycle.has_value();
 
   while (cycle) {
-    if (report.iterations >= options.max_iterations) {
-      throw AlgorithmLimitError(
-          "RemoveDeadlocks: iteration cap exceeded (" +
-          std::to_string(options.max_iterations) + ")");
-    }
-    const BreakCandidate chosen =
-        PickBreak(design, *cycle, options.direction_policy);
-    const BreakResult applied =
-        BreakCycle(design, *cycle, chosen.edge_pos, chosen.direction,
-                   options.duplication);
-
-    // Sharing duplicates between flows must keep the realized VC count at
-    // the predicted cost; a mismatch means the cost table lied.
-    Require(applied.added_channels.size() == chosen.cost,
-            "RemoveDeadlocks: realized VC count differs from predicted "
-            "cost");
-    if (options.paranoid_validation) {
-      design.Validate();
-    }
-
-    RemovalStep step;
-    step.cycle_length = cycle->size();
-    step.direction = chosen.direction;
-    step.edge_pos = chosen.edge_pos;
-    step.cost = chosen.cost;
-    step.vcs_added = applied.added_channels.size();
-    step.flows_rerouted = applied.rerouted_flows.size();
-    report.steps.push_back(step);
-    report.vcs_added += step.vcs_added;
-    report.flows_rerouted += step.flows_rerouted;
-    ++report.iterations;
-
+    BreakResult applied;
+    ApplyAndRecord(design, cdg, *cycle, options, report, applied);
     cdg = ChannelDependencyGraph::Build(design);
     cycle = PickCycle(cdg, options.cycle_policy);
   }
   return report;
+}
+
+RemovalReport RemoveDeadlocksIncremental(NocDesign& design,
+                                         const RemovalOptions& options) {
+  RemovalReport report;
+  ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
+  DirtyCycleFinder finder(cdg);
+  std::optional<CdgCycle> cycle = finder.Pick(options.cycle_policy);
+  report.initially_deadlock_free = !cycle.has_value();
+
+  while (cycle) {
+    BreakResult applied;
+    ApplyAndRecord(design, cdg, *cycle, options, report, applied);
+    cdg.ApplyBreak(design, applied.rerouted_flows, applied.old_routes);
+    if (options.paranoid_validation) {
+      Require(cdg.SameDependencies(ChannelDependencyGraph::Build(design)),
+              "RemoveDeadlocks: incremental CDG diverged from rebuild");
+    }
+    cycle = finder.Pick(options.cycle_policy);
+  }
+  report.cycle_bfs_runs = finder.stats().bfs_runs;
+  return report;
+}
+
+}  // namespace
+
+RemovalReport RemoveDeadlocks(NocDesign& design,
+                              const RemovalOptions& options) {
+  if (options.engine == RemovalEngine::kRebuild) {
+    return RemoveDeadlocksRebuild(design, options);
+  }
+  return RemoveDeadlocksIncremental(design, options);
 }
 
 bool IsDeadlockFree(const NocDesign& design) {

@@ -6,6 +6,17 @@
 // duplication + re-routing), and repeat on the updated design. Terminates
 // when the CDG is acyclic, i.e. the design is provably deadlock-free for
 // wormhole flow control with static routing.
+//
+// Two engines drive the loop. The default incremental engine keeps one
+// CDG alive across iterations, mirrors each break into it
+// (ChannelDependencyGraph::ApplyBreak) and re-scans only dirty vertices
+// for the next cycle (cdg/incremental.h). The rebuild engine re-derives
+// the CDG from the design and scans every vertex each iteration — the
+// paper's literal formulation, kept as the reference baseline the
+// incremental engine is benchmarked and property-tested against. Both
+// make identical removal decisions (same steps, VC counts and final
+// designs); only the cycle_bfs_runs work counter differs, as it exists
+// to measure the incremental engine.
 #pragma once
 
 #include <cstddef>
@@ -19,14 +30,6 @@
 
 namespace nocdr {
 
-/// Cycle-selection policy; the paper uses smallest-first, the others exist
-/// for the ablation study.
-enum class CyclePolicy {
-  kSmallestFirst,
-  kFirstFound,
-  kLargestFirst,
-};
-
 /// Which break directions the cost search may consider; the paper uses
 /// both, the restricted variants exist for the ablation study.
 enum class DirectionPolicy {
@@ -35,10 +38,20 @@ enum class DirectionPolicy {
   kBackwardOnly,
 };
 
+/// How the removal loop maintains the CDG and finds cycles.
+enum class RemovalEngine {
+  /// Mutate one CDG across breaks; dirty-vertex cycle search.
+  kIncremental,
+  /// Re-derive the CDG from the design and scan all vertices, every
+  /// iteration. Reference baseline; byte-identical results.
+  kRebuild,
+};
+
 /// Tuning knobs of the removal loop.
 struct RemovalOptions {
   CyclePolicy cycle_policy = CyclePolicy::kSmallestFirst;
   DirectionPolicy direction_policy = DirectionPolicy::kBoth;
+  RemovalEngine engine = RemovalEngine::kIncremental;
   /// Realize duplicates as extra VCs (default) or, for switch
   /// architectures without VC support, as parallel physical links.
   DuplicationMode duplication = DuplicationMode::kVirtualChannel;
@@ -46,7 +59,9 @@ struct RemovalOptions {
   /// input we have seen, but a cap turns a hypothetical livelock into an
   /// AlgorithmLimitError instead of a hang.
   std::size_t max_iterations = 100000;
-  /// Re-validate the whole design after every break (slow; for tests).
+  /// Re-validate the whole design after every break, and (incremental
+  /// engine) check the mutated CDG against a from-scratch rebuild
+  /// (slow; for tests).
   bool paranoid_validation = false;
 };
 
@@ -68,6 +83,10 @@ struct RemovalReport {
   std::size_t iterations = 0;
   std::size_t vcs_added = 0;
   std::size_t flows_rerouted = 0;
+  /// Vertices whose shortest cycle was recomputed by BFS across the whole
+  /// run (incremental engine only; 0 for the rebuild engine). The rebuild
+  /// engine's equivalent is roughly VertexCount() per iteration.
+  std::size_t cycle_bfs_runs = 0;
   std::vector<RemovalStep> steps;
 };
 

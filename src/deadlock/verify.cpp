@@ -26,8 +26,8 @@ DeadlockCertificate CertifyDeadlockFreedom(const NocDesign& design) {
     const ChannelId v = ready.front();
     ready.pop_front();
     cert.topological_order.push_back(v);
-    for (std::size_t e : cdg.OutEdges(v)) {
-      const ChannelId w = cdg.EdgeAt(e).to;
+    for (const auto& ref : cdg.OutEdges(v)) {
+      const ChannelId w = ref.to;
       if (--in_degree[w.value()] == 0) {
         ready.push_back(w);
       }

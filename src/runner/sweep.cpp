@@ -1,0 +1,140 @@
+#include "runner/sweep.h"
+
+#include <chrono>
+#include <exception>
+
+#include "deadlock/resource_ordering.h"
+#include "runner/thread_pool.h"
+
+namespace nocdr::runner {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void DigestField(std::uint64_t& h, std::uint64_t value) {
+  // FNV-1a over the 8 bytes of value.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+}
+
+void DigestField(std::uint64_t& h, const std::string& value) {
+  for (const char c : value) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  DigestField(h, value.size());
+}
+
+SweepRow RunJob(const SweepJob& job, std::size_t job_index,
+                std::uint64_t base_seed) {
+  SweepRow row;
+  row.job_index = job_index;
+  row.design = job.design;
+  row.variant = job.variant;
+  row.seed = JobSeed(base_seed, job_index);
+  try {
+    Rng rng(row.seed);
+    auto t0 = std::chrono::steady_clock::now();
+    NocDesign design = job.factory(rng);
+    row.factory_ms = MillisSince(t0);
+    row.switches = design.topology.SwitchCount();
+    row.links = design.topology.LinkCount();
+    row.flows = design.traffic.FlowCount();
+    row.initially_deadlock_free = IsDeadlockFree(design);
+
+    t0 = std::chrono::steady_clock::now();
+    if (job.method == SweepMethod::kRemoval) {
+      const RemovalReport report = RemoveDeadlocks(design, job.options);
+      row.iterations = report.iterations;
+      row.vcs_added = report.vcs_added;
+      row.flows_rerouted = report.flows_rerouted;
+      row.cycle_bfs_runs = report.cycle_bfs_runs;
+    } else {
+      const ResourceOrderingReport report = ApplyResourceOrdering(design);
+      row.iterations = 1;
+      row.vcs_added = report.vcs_added;
+    }
+    row.run_ms = MillisSince(t0);
+    row.channels = design.topology.ChannelCount();
+    row.deadlock_free = IsDeadlockFree(design);
+  } catch (const std::exception& e) {
+    row.error = e.what();
+  }
+  return row;
+}
+
+}  // namespace
+
+std::uint64_t JobSeed(std::uint64_t base_seed, std::size_t job_index) {
+  // Two rounds of the library's SplitMix64 decorrelate base seed and
+  // index without a second copy of the generator constants.
+  const std::uint64_t mixed_index =
+      Rng(static_cast<std::uint64_t>(job_index)).Next();
+  return Rng(base_seed ^ mixed_index).Next();
+}
+
+std::uint64_t Digest(const std::vector<SweepRow>& rows) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const SweepRow& row : rows) {
+    DigestField(h, row.job_index);
+    DigestField(h, row.design);
+    DigestField(h, row.variant);
+    DigestField(h, row.seed);
+    DigestField(h, row.switches);
+    DigestField(h, row.links);
+    DigestField(h, row.flows);
+    DigestField(h, row.channels);
+    DigestField(h, static_cast<std::uint64_t>(row.initially_deadlock_free));
+    DigestField(h, row.iterations);
+    DigestField(h, row.vcs_added);
+    DigestField(h, row.flows_rerouted);
+    DigestField(h, row.cycle_bfs_runs);
+    DigestField(h, static_cast<std::uint64_t>(row.deadlock_free));
+    DigestField(h, row.error);
+  }
+  return h;
+}
+
+JsonObject RowToJson(const SweepRow& row) {
+  JsonObject json;
+  json.Set("design", row.design)
+      .Set("variant", row.variant)
+      .Set("seed", row.seed)
+      .Set("switches", row.switches)
+      .Set("links", row.links)
+      .Set("flows", row.flows)
+      .Set("channels", row.channels)
+      .Set("initially_deadlock_free", row.initially_deadlock_free)
+      .Set("iterations", row.iterations)
+      .Set("vcs_added", row.vcs_added)
+      .Set("flows_rerouted", row.flows_rerouted)
+      .Set("cycle_bfs_runs", row.cycle_bfs_runs)
+      .Set("deadlock_free", row.deadlock_free)
+      .Set("factory_ms", row.factory_ms)
+      .Set("run_ms", row.run_ms);
+  if (!row.error.empty()) {
+    json.Set("error", row.error);
+  }
+  return json;
+}
+
+SweepRunner::SweepRunner(SweepConfig config) : config_(config) {}
+
+std::vector<SweepRow> SweepRunner::Run(
+    const std::vector<SweepJob>& jobs) const {
+  std::vector<SweepRow> rows(jobs.size());
+  ThreadPool pool(config_.threads);
+  pool.ParallelFor(jobs.size(), [&](std::size_t i) {
+    rows[i] = RunJob(jobs[i], i, config_.base_seed);
+  });
+  return rows;
+}
+
+}  // namespace nocdr::runner

@@ -1,0 +1,88 @@
+#include "runner/thread_pool.h"
+
+#include <memory>
+
+namespace nocdr {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::thread::hardware_concurrency();
+    if (thread_count == 0) {
+      thread_count = 1;
+    }
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_worker_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  wake_worker_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  // One drainer task per worker, all claiming indices from a shared
+  // cursor; cheap and keeps long and short jobs balanced.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t drainers = std::min(ThreadCount(), count);
+  for (std::size_t i = 0; i < drainers; ++i) {
+    Submit([cursor, count, &fn] {
+      for (std::size_t index = cursor->fetch_add(1); index < count;
+           index = cursor->fetch_add(1)) {
+        fn(index);
+      }
+    });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_worker_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--unfinished_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace nocdr

@@ -1,0 +1,57 @@
+// Fixed-size worker pool for the batch sweep engine.
+//
+// Deliberately minimal: FIFO task queue, Submit/WaitIdle, and a
+// ParallelFor convenience that self-schedules indices over the workers
+// via an atomic cursor. Tasks must not throw (SweepRunner catches per-job
+// exceptions before they reach the pool); a throwing task terminates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nocdr {
+
+class ThreadPool {
+ public:
+  /// Spawns \p thread_count workers; 0 means std::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t ThreadCount() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Runs fn(0) ... fn(count - 1) across the pool and returns when all
+  /// calls have finished. Indices are claimed dynamically, so callers must
+  /// not depend on which worker runs which index — only on the per-index
+  /// results they write.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_worker_;
+  std::condition_variable idle_;
+  std::size_t unfinished_ = 0;  // queued + currently running
+  bool stopping_ = false;
+};
+
+}  // namespace nocdr

@@ -1,0 +1,113 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace nocdr {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    fields_.emplace_back(key, "null");
+    return *this;
+  }
+  // Shortest round-trip representation; deterministic for a given value.
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  fields_.emplace_back(key, std::string(buf, result.ptr));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+std::string JsonObject::Dump() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJsonWriter::AddRow(JsonObject row) {
+  rows_.push_back(row.Set("bench", bench_name_).Dump());
+}
+
+std::string BenchJsonWriter::Write() const {
+  const std::string path = "BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return {};
+  }
+  for (const std::string& row : rows_) {
+    out << row << "\n";
+  }
+  out.close();
+  return out ? path : std::string{};
+}
+
+}  // namespace nocdr

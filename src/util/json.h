@@ -1,0 +1,67 @@
+// Minimal JSON emission for benchmark row tracking.
+//
+// Every experiment harness appends flat rows to a BENCH_<name>.json file
+// (JSON Lines: one object per line) so the perf trajectory of the repo
+// can be tracked across PRs by dumb tooling — no parser dependencies,
+// no nesting. Only the value shapes the benches need are supported:
+// strings, bools, integers and doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nocdr {
+
+/// Escapes \p raw for use inside a JSON string literal (quotes excluded).
+std::string JsonEscape(const std::string& raw);
+
+/// One flat JSON object; keys keep insertion order.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, bool value);
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, std::uint64_t value);
+  JsonObject& Set(const std::string& key, std::int64_t value);
+  /// Catch-all for the zoo of integer types (std::size_t, int, ...).
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  JsonObject& Set(const std::string& key, Int value) {
+    if constexpr (std::is_signed_v<Int>) {
+      return Set(key, static_cast<std::int64_t>(value));
+    } else {
+      return Set(key, static_cast<std::uint64_t>(value));
+    }
+  }
+
+  /// Renders {"k":v,...}.
+  [[nodiscard]] std::string Dump() const;
+
+ private:
+  /// Pre-rendered key/value fragments.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates rows for one bench and writes them as BENCH_<name>.json
+/// (JSON Lines) in the current working directory.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  void AddRow(JsonObject row);
+
+  [[nodiscard]] std::size_t RowCount() const { return rows_.size(); }
+
+  /// Writes the file; returns its path, or an empty string on I/O error.
+  std::string Write() const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> rows_;  // pre-rendered lines
+};
+
+}  // namespace nocdr

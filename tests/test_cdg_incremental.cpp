@@ -1,0 +1,232 @@
+// The incremental-CDG contract: mutating one graph across breaks must be
+// indistinguishable from rebuilding it from the design, and the
+// dirty-vertex cycle search must select exactly what a full scan selects.
+// These are the properties the incremental removal engine's correctness
+// rests on, checked here across the whole regression corpus.
+#include <gtest/gtest.h>
+
+#include "cdg/cdg.h"
+#include "cdg/cycle.h"
+#include "cdg/incremental.h"
+#include "deadlock/breaker.h"
+#include "deadlock/cost.h"
+#include "deadlock/removal.h"
+#include "soc/benchmarks.h"
+#include "synth/synthesizer.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+TEST(CdgIncrementalTest, AddEdgesCreatesDependencies) {
+  auto ex = testing::MakePaperExample();
+  ChannelDependencyGraph cdg;
+  cdg.EnsureVertices(ex.design.topology.ChannelCount());
+  EXPECT_EQ(cdg.EdgeCount(), 0u);
+  cdg.AddEdges({ex.c1, ex.c2, ex.c3}, ex.f1);
+  EXPECT_EQ(cdg.EdgeCount(), 2u);
+  ASSERT_TRUE(cdg.FindEdge(ex.c1, ex.c2).has_value());
+  ASSERT_TRUE(cdg.FindEdge(ex.c2, ex.c3).has_value());
+  EXPECT_EQ(cdg.EdgeAt(*cdg.FindEdge(ex.c1, ex.c2)).flows,
+            std::vector<FlowId>{ex.f1});
+
+  // A second flow over the same pair annotates, not duplicates.
+  cdg.AddEdges({ex.c1, ex.c2}, ex.f4);
+  EXPECT_EQ(cdg.EdgeCount(), 2u);
+  EXPECT_EQ(cdg.EdgeAt(*cdg.FindEdge(ex.c1, ex.c2)).flows,
+            (std::vector<FlowId>{ex.f1, ex.f4}));
+}
+
+TEST(CdgIncrementalTest, RemoveEdgesDeletesWhenLastFlowLeaves) {
+  auto ex = testing::MakePaperExample();
+  ChannelDependencyGraph cdg;
+  cdg.EnsureVertices(ex.design.topology.ChannelCount());
+  cdg.AddEdges({ex.c1, ex.c2, ex.c3}, ex.f1);
+  cdg.AddEdges({ex.c1, ex.c2}, ex.f4);
+
+  cdg.RemoveEdges({ex.c1, ex.c2}, ex.f4);
+  EXPECT_EQ(cdg.EdgeCount(), 2u);
+  EXPECT_EQ(cdg.EdgeAt(*cdg.FindEdge(ex.c1, ex.c2)).flows,
+            std::vector<FlowId>{ex.f1});
+
+  cdg.RemoveEdges({ex.c1, ex.c2, ex.c3}, ex.f1);
+  EXPECT_EQ(cdg.EdgeCount(), 0u);
+  EXPECT_FALSE(cdg.FindEdge(ex.c1, ex.c2).has_value());
+}
+
+TEST(CdgIncrementalTest, RemoveEdgesThrowsWhenOutOfSync) {
+  auto ex = testing::MakePaperExample();
+  ChannelDependencyGraph cdg;
+  cdg.EnsureVertices(ex.design.topology.ChannelCount());
+  cdg.AddEdges({ex.c1, ex.c2}, ex.f1);
+  EXPECT_THROW(cdg.RemoveEdges({ex.c2, ex.c3}, ex.f1), InvalidModelError);
+  EXPECT_THROW(cdg.RemoveEdges({ex.c1, ex.c2}, ex.f2), InvalidModelError);
+}
+
+TEST(CdgIncrementalTest, SameDependenciesDetectsDifferences) {
+  auto ex = testing::MakePaperExample();
+  const auto built = ChannelDependencyGraph::Build(ex.design);
+  auto copy = ChannelDependencyGraph::Build(ex.design);
+  EXPECT_TRUE(built.SameDependencies(copy));
+  copy.RemoveEdges({ex.c3, ex.c4}, ex.f2);
+  EXPECT_FALSE(built.SameDependencies(copy));
+}
+
+// ------------------------------------------------------------------------
+// The property at the heart of the incremental engine: after every break,
+// (a) the mutated CDG equals a from-scratch rebuild, and (b) the dirty
+// cycle finder picks exactly what a full scan picks.
+
+void RunMirrorProperty(NocDesign design, CyclePolicy policy) {
+  ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
+  DirtyCycleFinder finder(cdg);
+  std::size_t guard = 0;
+  for (;;) {
+    const auto full = PickCycle(cdg, policy);
+    const auto dirty = finder.Pick(policy);
+    ASSERT_EQ(dirty.has_value(), full.has_value());
+    if (!dirty) {
+      break;
+    }
+    ASSERT_EQ(*dirty, *full) << "dirty search diverged from full scan";
+
+    const BreakCandidate fwd =
+        FindDepToBreak(design, *dirty, BreakDirection::kForward);
+    const BreakCandidate bwd =
+        FindDepToBreak(design, *dirty, BreakDirection::kBackward);
+    const BreakCandidate chosen = fwd.cost <= bwd.cost ? fwd : bwd;
+    const BreakResult applied =
+        BreakCycle(design, *dirty, chosen.edge_pos, chosen.direction);
+    ASSERT_EQ(applied.rerouted_flows.size(), applied.old_routes.size());
+
+    cdg.ApplyBreak(design, applied.rerouted_flows, applied.old_routes);
+    const auto rebuilt = ChannelDependencyGraph::Build(design);
+    ASSERT_TRUE(cdg.SameDependencies(rebuilt))
+        << "incremental CDG diverged from rebuild";
+    ASSERT_TRUE(rebuilt.SameDependencies(cdg));
+    ASSERT_LT(++guard, 10000u) << "removal loop failed to converge";
+  }
+  EXPECT_TRUE(IsAcyclic(cdg));
+}
+
+TEST(CdgIncrementalTest, MirrorsRebuildOnRings) {
+  for (auto [n, span] : {std::pair<std::size_t, std::size_t>{4, 2},
+                         {6, 3},
+                         {8, 3},
+                         {12, 5}}) {
+    RunMirrorProperty(testing::MakeRingDesign(n, span),
+                      CyclePolicy::kSmallestFirst);
+  }
+}
+
+TEST(CdgIncrementalTest, MirrorsRebuildOnBenchmarkCorpus) {
+  for (const auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    for (std::size_t switches : {10u, 14u, 18u}) {
+      SCOPED_TRACE(b.name + "@" + std::to_string(switches));
+      RunMirrorProperty(SynthesizeDesign(b.traffic, b.name, switches),
+                        CyclePolicy::kSmallestFirst);
+    }
+  }
+}
+
+TEST(CdgIncrementalTest, MirrorsRebuildOnRandomDesigns) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunMirrorProperty(testing::MakeRandomDesign(seed, 10, 14, 30),
+                      CyclePolicy::kSmallestFirst);
+  }
+}
+
+TEST(CdgIncrementalTest, MirrorsRebuildUnderAblationPolicies) {
+  for (auto policy : {CyclePolicy::kFirstFound, CyclePolicy::kLargestFirst}) {
+    RunMirrorProperty(testing::MakeRingDesign(8, 3), policy);
+    const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
+    RunMirrorProperty(SynthesizeDesign(b.traffic, b.name, 14), policy);
+  }
+}
+
+// ------------------------------------------------------------------------
+// End-to-end: both removal engines must produce identical reports and
+// identical final designs.
+
+void ExpectSameOutcome(const NocDesign& input) {
+  NocDesign incremental_design = input;
+  NocDesign rebuild_design = input;
+  RemovalOptions options;
+  options.engine = RemovalEngine::kIncremental;
+  const auto incremental = RemoveDeadlocks(incremental_design, options);
+  options.engine = RemovalEngine::kRebuild;
+  const auto rebuild = RemoveDeadlocks(rebuild_design, options);
+
+  EXPECT_EQ(incremental.initially_deadlock_free,
+            rebuild.initially_deadlock_free);
+  EXPECT_EQ(incremental.iterations, rebuild.iterations);
+  EXPECT_EQ(incremental.vcs_added, rebuild.vcs_added);
+  EXPECT_EQ(incremental.flows_rerouted, rebuild.flows_rerouted);
+  ASSERT_EQ(incremental.steps.size(), rebuild.steps.size());
+  for (std::size_t i = 0; i < incremental.steps.size(); ++i) {
+    EXPECT_EQ(incremental.steps[i].cycle_length,
+              rebuild.steps[i].cycle_length);
+    EXPECT_EQ(incremental.steps[i].direction, rebuild.steps[i].direction);
+    EXPECT_EQ(incremental.steps[i].edge_pos, rebuild.steps[i].edge_pos);
+    EXPECT_EQ(incremental.steps[i].cost, rebuild.steps[i].cost);
+  }
+  EXPECT_EQ(incremental_design.topology.ChannelCount(),
+            rebuild_design.topology.ChannelCount());
+  EXPECT_EQ(incremental_design.topology.LinkCount(),
+            rebuild_design.topology.LinkCount());
+  for (std::size_t f = 0; f < input.traffic.FlowCount(); ++f) {
+    ASSERT_EQ(incremental_design.routes.RouteOf(FlowId(f)),
+              rebuild_design.routes.RouteOf(FlowId(f)))
+        << "flow " << f;
+  }
+  EXPECT_TRUE(IsDeadlockFree(incremental_design));
+}
+
+TEST(RemovalEngineEquivalenceTest, BenchmarkCorpus) {
+  for (const auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    for (std::size_t switches : {10u, 18u}) {
+      SCOPED_TRACE(b.name + "@" + std::to_string(switches));
+      ExpectSameOutcome(SynthesizeDesign(b.traffic, b.name, switches));
+    }
+  }
+}
+
+TEST(RemovalEngineEquivalenceTest, RingsAndRandomDesigns) {
+  ExpectSameOutcome(testing::MakeRingDesign(10, 4));
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectSameOutcome(testing::MakeRandomDesign(seed, 9, 12, 24));
+  }
+}
+
+TEST(RemovalEngineEquivalenceTest, ParanoidValidationPasses) {
+  NocDesign design = testing::MakeRingDesign(8, 3);
+  RemovalOptions options;
+  options.paranoid_validation = true;
+  const auto report = RemoveDeadlocks(design, options);
+  EXPECT_GT(report.iterations, 0u);
+  EXPECT_TRUE(IsDeadlockFree(design));
+}
+
+TEST(RemovalEngineEquivalenceTest, PhysicalLinkModeMatchesToo) {
+  const auto b = MakeBenchmark(SocBenchmarkId::kD36_6);
+  const auto input = SynthesizeDesign(b.traffic, b.name, 14);
+  NocDesign a = input;
+  NocDesign c = input;
+  RemovalOptions options;
+  options.duplication = DuplicationMode::kPhysicalLink;
+  options.engine = RemovalEngine::kIncremental;
+  const auto ra = RemoveDeadlocks(a, options);
+  options.engine = RemovalEngine::kRebuild;
+  const auto rc = RemoveDeadlocks(c, options);
+  EXPECT_EQ(ra.vcs_added, rc.vcs_added);
+  EXPECT_EQ(ra.iterations, rc.iterations);
+  EXPECT_TRUE(IsDeadlockFree(a));
+}
+
+}  // namespace
+}  // namespace nocdr

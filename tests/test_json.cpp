@@ -1,0 +1,66 @@
+// JSON emission used for BENCH_*.json perf-trajectory rows.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace nocdr {
+namespace {
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(JsonTest, DumpRendersFieldsInInsertionOrder) {
+  const std::string dump = JsonObject()
+                               .Set("name", "ring8")
+                               .Set("vcs", std::size_t{3})
+                               .Set("ok", true)
+                               .Set("ms", 1.5)
+                               .Dump();
+  EXPECT_EQ(dump, "{\"name\":\"ring8\",\"vcs\":3,\"ok\":true,\"ms\":1.5}");
+}
+
+TEST(JsonTest, SignedAndUnsignedIntegers) {
+  const std::string dump = JsonObject()
+                               .Set("neg", -5)
+                               .Set("big", std::uint64_t{1} << 40)
+                               .Dump();
+  EXPECT_EQ(dump, "{\"neg\":-5,\"big\":1099511627776}");
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  const std::string dump =
+      JsonObject().Set("inf", 1.0 / 0.0).Set("nan", 0.0 / 0.0).Dump();
+  EXPECT_EQ(dump, "{\"inf\":null,\"nan\":null}");
+}
+
+TEST(BenchJsonWriterTest, WritesOneRowPerLineWithBenchTag) {
+  BenchJsonWriter writer("jsontest_tmp");
+  writer.AddRow(JsonObject().Set("a", std::size_t{1}));
+  writer.AddRow(JsonObject().Set("b", "two"));
+  ASSERT_EQ(writer.RowCount(), 2u);
+  const std::string path = writer.Write();
+  ASSERT_EQ(path, "BENCH_jsontest_tmp.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"a\":1,\"bench\":\"jsontest_tmp\"}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"b\":\"two\",\"bench\":\"jsontest_tmp\"}");
+  EXPECT_FALSE(std::getline(in, line));
+  in.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nocdr
