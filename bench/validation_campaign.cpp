@@ -1,0 +1,350 @@
+// Differential validation campaign: certificates vs. cycle-accurate
+// simulation at scale.
+//
+// Fans randomized end-to-end trials over the thread pool (see
+// src/valid/campaign.h for the four-way contract), prints per-arm
+// summaries, dumps replayable repros for any mismatch, and appends
+// machine-readable rows to BENCH_validation_campaign.json:
+//   * one row per trial (section "trial"),
+//   * per-arm aggregates (section "arm_summary"),
+//   * the campaign summary with its determinism digest ("campaign"),
+//   * the simulator engine speedup on the campaign's largest design
+//     ("sim_engine_speedup"), both the dense campaign workload and a
+//     light steady-state workload.
+//
+// Flags:
+//   --trials N       total trial rows (default 400)
+//   --seed S         base seed (default 1)
+//   --threads T      worker threads, 0 = hardware (default 0)
+//   --arms a,b,c     comma list of untreated|removal_incremental|
+//                    removal_rebuild|resource_ordering (default: all)
+//   --no-shrink      skip minimizing mismatches
+//   --no-perf        skip the simulator speedup measurement
+//   --check-determinism  rerun at 1 and 3 threads, require equal digests
+//   --replay FILE    replay a dumped repro instead of running a campaign
+//
+// Exit code: 0 iff the campaign had no contract mismatch (and, with
+// --check-determinism, all digests matched); --replay exits 0 iff the
+// repro still reproduces its mismatch.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "deadlock/removal.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "valid/campaign.h"
+#include "valid/repro.h"
+
+using namespace nocdr;
+
+namespace {
+
+using bench::MillisSince;
+
+struct Options {
+  valid::CampaignConfig campaign;
+  bool perf = true;
+  bool check_determinism = false;
+  std::string replay_path;
+};
+
+[[noreturn]] void Usage(const std::string& error) {
+  std::cerr << "bench_validation_campaign: " << error << "\n"
+            << "flags: --trials N --seed S --threads T --arms a,b,c "
+               "--no-shrink --no-perf --check-determinism --replay FILE\n";
+  std::exit(2);
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options opts;
+  const auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      Usage(std::string(argv[i]) + " needs a value");
+    }
+    return argv[++i];
+  };
+  // Flag values are untrusted; std::stoull would call std::terminate on
+  // junk, so reject anything that is not a plain decimal number.
+  const auto next_number = [&](int& i) -> std::uint64_t {
+    const std::string flag = argv[i];
+    const std::string value = next_value(i);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      Usage(flag + " needs a non-negative integer, got \"" + value + "\"");
+    }
+    try {
+      return std::stoull(value);
+    } catch (const std::out_of_range&) {
+      Usage(flag + " value \"" + value + "\" is out of range");
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trials") {
+      opts.campaign.trials = next_number(i);
+    } else if (arg == "--seed") {
+      opts.campaign.base_seed = next_number(i);
+    } else if (arg == "--threads") {
+      opts.campaign.threads = next_number(i);
+    } else if (arg == "--arms") {
+      opts.campaign.arms.clear();
+      std::stringstream list(next_value(i));
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        const auto arm = valid::ParseArm(name);
+        if (!arm.has_value()) {
+          Usage("unknown arm \"" + name + "\"");
+        }
+        opts.campaign.arms.push_back(*arm);
+      }
+      if (opts.campaign.arms.empty()) {
+        Usage("--arms needs at least one arm");
+      }
+    } else if (arg == "--no-shrink") {
+      opts.campaign.shrink = false;
+    } else if (arg == "--no-perf") {
+      opts.perf = false;
+    } else if (arg == "--check-determinism") {
+      opts.check_determinism = true;
+    } else if (arg == "--replay") {
+      opts.replay_path = next_value(i);
+    } else {
+      Usage("unknown flag \"" + arg + "\"");
+    }
+  }
+  return opts;
+}
+
+int Replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  valid::Repro repro;
+  try {
+    repro = valid::ReproFromJson(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << path << " is not a valid repro dump: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "replaying trial " << repro.trial_index << " ("
+            << valid::ArmName(repro.arm) << ", seed " << repro.seed
+            << ", design " << repro.design.name << " with "
+            << repro.design.traffic.FlowCount() << " flows)\n"
+            << "recorded mismatch: " << repro.mismatch << "\n";
+  if (!repro.io_stable) {
+    std::cout << "note: the original design was not io-stable (channel "
+                 "numbering changed in the dump); the replay may "
+                 "legitimately come back clean\n";
+  }
+  const valid::ReplayResult replay = valid::ReplayRepro(repro);
+  if (replay.reproduced) {
+    std::cout << "REPRODUCED: " << replay.row.mismatch << "\n";
+    return 0;
+  }
+  std::cout << "did not reproduce (verdict is clean now)\n";
+  return 1;
+}
+
+/// Best-of-3 wall clock of one simulation.
+double TimeSim(const NocDesign& design, const SimConfig& config) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult result = SimulateWorkload(design, config);
+    const double ms = MillisSince(t0);
+    (void)result;
+    if (rep == 0 || ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
+/// Measures the worklist engine against the full-scan reference on the
+/// campaign's largest design, under the dense campaign workload and a
+/// light steady-state workload. Returns the best speedup of the two —
+/// the worklist engine exists for sparse activity, where the full scan
+/// burns a whole channel sweep per cycle to move a handful of flits.
+double MeasureSimSpeedup(const valid::CampaignConfig& config,
+                         const std::vector<valid::TrialRow>& rows,
+                         BenchJsonWriter& json) {
+  std::uint64_t largest_seed = 0;
+  std::size_t largest_channels = 0;
+  for (const valid::TrialRow& row : rows) {
+    if (row.channels_before > largest_channels) {
+      largest_channels = row.channels_before;
+      largest_seed = row.design_seed;
+    }
+  }
+  NocDesign design =
+      valid::GenerateTrialDesign(largest_seed, config.envelope);
+  RemoveDeadlocks(design);
+
+  SimConfig dense;
+  dense.buffer_depth = config.workload.buffer_depth;
+  dense.max_cycles = config.workload.max_cycles;
+  dense.traffic.mode = InjectionMode::kFixedCount;
+  dense.traffic.packets_per_flow = config.workload.packets_per_flow * 16;
+  dense.traffic.packet_length = config.workload.packet_length;
+
+  SimConfig light;
+  light.buffer_depth = 2;
+  light.max_cycles = 100000;
+  light.traffic.mode = InjectionMode::kBernoulli;
+  light.traffic.reference_injection_rate = 0.005;
+  light.traffic.packet_length = 5;
+  light.traffic.seed = largest_seed;
+
+  double best_speedup = 0.0;
+  TextTable table;
+  table.SetHeader({"workload", "fullscan (ms)", "worklist (ms)", "speedup"});
+  for (const auto& [label, base] :
+       {std::pair<std::string, SimConfig*>{"dense_fixed_count", &dense},
+        {"light_bernoulli", &light}}) {
+    SimConfig cfg = *base;
+    cfg.engine = SimEngine::kFullScan;
+    const double full_ms = TimeSim(design, cfg);
+    cfg.engine = SimEngine::kWorklist;
+    const double work_ms = TimeSim(design, cfg);
+    const double speedup = work_ms > 0.0 ? full_ms / work_ms : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    table.AddRow({label, FormatDouble(full_ms, 2), FormatDouble(work_ms, 2),
+                  FormatDouble(speedup, 2) + "x"});
+    json.AddRow(JsonObject()
+                    .Set("section", "sim_engine_speedup")
+                    .Set("design", design.name)
+                    .Set("channels", design.topology.ChannelCount())
+                    .Set("flows", design.traffic.FlowCount())
+                    .Set("workload", label)
+                    .Set("fullscan_ms", full_ms)
+                    .Set("worklist_ms", work_ms)
+                    .Set("speedup", speedup));
+  }
+  std::cout << "\n=== simulator engine speedup on largest design ("
+            << design.name << ", " << design.topology.ChannelCount()
+            << " channels, " << design.traffic.FlowCount() << " flows) ===\n";
+  table.Print(std::cout);
+  std::cout << "best speedup " << FormatDouble(best_speedup, 2)
+            << "x (target >= 1.5x)\n";
+  return best_speedup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = ParseOptions(argc, argv);
+  if (!opts.replay_path.empty()) {
+    return Replay(opts.replay_path);
+  }
+
+  std::cout << "=== validation campaign: " << opts.campaign.trials
+            << " trials, seed " << opts.campaign.base_seed << ", "
+            << opts.campaign.arms.size() << " arms ===\n\n";
+  const auto t0 = std::chrono::steady_clock::now();
+  const valid::CampaignResult result = valid::RunCampaign(opts.campaign);
+  const double campaign_ms = MillisSince(t0);
+
+  BenchJsonWriter json("validation_campaign");
+  for (const valid::TrialRow& row : result.rows) {
+    json.AddRow(valid::RowToJson(row).Set("section", "trial"));
+  }
+
+  // Per-arm aggregates.
+  TextTable table;
+  table.SetHeader({"arm", "trials", "positive", "detonated", "mismatch",
+                   "escalated"});
+  for (const valid::TrialArm arm : opts.campaign.arms) {
+    std::size_t trials = 0, positive = 0, detonated = 0, mismatch = 0,
+                escalated = 0;
+    for (const valid::TrialRow& row : result.rows) {
+      if (row.arm != arm) {
+        continue;
+      }
+      ++trials;
+      positive += row.verdict == valid::TrialVerdict::kPositiveDelivered;
+      detonated += row.verdict == valid::TrialVerdict::kNegativeDetonated;
+      mismatch += row.verdict == valid::TrialVerdict::kMismatch;
+      escalated += row.escalations > 0;
+    }
+    table.AddRow({valid::ArmName(arm), std::to_string(trials),
+                  std::to_string(positive), std::to_string(detonated),
+                  std::to_string(mismatch), std::to_string(escalated)});
+    json.AddRow(JsonObject()
+                    .Set("section", "arm_summary")
+                    .Set("arm", valid::ArmName(arm))
+                    .Set("trials", trials)
+                    .Set("positive", positive)
+                    .Set("detonated", detonated)
+                    .Set("mismatch", mismatch)
+                    .Set("escalated", escalated));
+  }
+  table.Print(std::cout);
+  std::cout << "\n" << result.rows.size() << " trials in "
+            << FormatDouble(campaign_ms, 1) << " ms: " << result.positives
+            << " positive, " << result.detonations << " detonated, "
+            << result.mismatches << " mismatches; digest " << std::hex
+            << result.digest << std::dec << "\n";
+
+  // Replayable repro dumps for every mismatch.
+  for (const auto& [trial, repro_json] : result.repros) {
+    const std::string path = "repro_trial" + std::to_string(trial) + ".json";
+    std::ofstream out(path);
+    out << repro_json << "\n";
+    std::cout << "mismatch repro written to " << path << "\n";
+  }
+  for (const valid::TrialRow& row : result.rows) {
+    if (row.verdict == valid::TrialVerdict::kMismatch) {
+      std::cout << "MISMATCH trial " << row.trial_index << " ("
+                << valid::ArmName(row.arm) << ", design seed "
+                << row.design_seed << "): " << row.mismatch << "\n";
+    }
+  }
+
+  // Thread-count determinism: the digest must not depend on scheduling.
+  bool deterministic = true;
+  if (opts.check_determinism) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      valid::CampaignConfig alt = opts.campaign;
+      alt.threads = threads;
+      const valid::CampaignResult rerun = valid::RunCampaign(alt);
+      const bool match = rerun.digest == result.digest;
+      deterministic = deterministic && match;
+      std::cout << "determinism check (" << threads << " threads): digest "
+                << std::hex << rerun.digest << std::dec
+                << (match ? " OK" : " MISMATCH (bug!)") << "\n";
+    }
+  }
+
+  double speedup = 0.0;
+  if (opts.perf) {
+    speedup = MeasureSimSpeedup(opts.campaign, result.rows, json);
+  }
+
+  json.AddRow(JsonObject()
+                  .Set("section", "campaign")
+                  .Set("trials", result.rows.size())
+                  .Set("base_seed", opts.campaign.base_seed)
+                  .Set("arms", opts.campaign.arms.size())
+                  .Set("positives", result.positives)
+                  .Set("detonations", result.detonations)
+                  .Set("mismatches", result.mismatches)
+                  .Set("digest", result.digest)
+                  .Set("deterministic", deterministic)
+                  .Set("campaign_ms", campaign_ms)
+                  .Set("largest_design_speedup", speedup));
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    std::cout << "rows written to " << path << "\n";
+  }
+  return (result.mismatches != 0 || !deterministic) ? 1 : 0;
+}

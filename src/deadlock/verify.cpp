@@ -3,6 +3,8 @@
 #include <deque>
 
 #include "cdg/cdg.h"
+#include "util/error.h"
+#include "util/json.h"
 
 namespace nocdr {
 
@@ -74,6 +76,54 @@ bool CheckCertificate(const NocDesign& design,
     }
   }
   return true;
+}
+
+namespace {
+
+void AppendChannelArray(std::string& out, const char* key,
+                        const std::vector<ChannelId>& channels) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(channels[i].value());
+  }
+  out += ']';
+}
+
+std::vector<ChannelId> ReadChannelArray(const JsonValue& value) {
+  std::vector<ChannelId> channels;
+  channels.reserve(value.Items().size());
+  for (const JsonValue& item : value.Items()) {
+    channels.emplace_back(item.AsUint());
+  }
+  return channels;
+}
+
+}  // namespace
+
+std::string CertificateToJson(const DeadlockCertificate& certificate) {
+  std::string out = "{\"deadlock_free\":";
+  out += certificate.deadlock_free ? "true" : "false";
+  out += ',';
+  AppendChannelArray(out, "topological_order",
+                     certificate.topological_order);
+  out += ',';
+  AppendChannelArray(out, "counterexample", certificate.counterexample);
+  out += '}';
+  return out;
+}
+
+DeadlockCertificate CertificateFromJson(const std::string& json) {
+  const JsonValue value = JsonValue::Parse(json);
+  DeadlockCertificate cert;
+  cert.deadlock_free = value.At("deadlock_free").AsBool();
+  cert.topological_order = ReadChannelArray(value.At("topological_order"));
+  cert.counterexample = ReadChannelArray(value.At("counterexample"));
+  return cert;
 }
 
 }  // namespace nocdr

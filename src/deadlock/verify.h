@@ -8,6 +8,7 @@
 // flows expect.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cdg/cycle.h"
@@ -36,5 +37,17 @@ DeadlockCertificate CertifyDeadlockFreedom(const NocDesign& design);
 /// the order. Returns false for negative certificates.
 bool CheckCertificate(const NocDesign& design,
                       const DeadlockCertificate& certificate);
+
+/// Serializes \p certificate as one JSON object, e.g.
+/// {"deadlock_free":true,"topological_order":[2,0,1],"counterexample":[]}.
+/// Certificates are sign-off evidence, so they must survive storage and
+/// transport; CertificateFromJson is the exact inverse.
+std::string CertificateToJson(const DeadlockCertificate& certificate);
+
+/// Parses a certificate written by CertificateToJson. Throws
+/// InvalidModelError on malformed input. The result still has to pass
+/// CheckCertificate against the design it claims to describe — parsing
+/// performs no semantic validation.
+DeadlockCertificate CertificateFromJson(const std::string& json);
 
 }  // namespace nocdr

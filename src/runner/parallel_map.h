@@ -1,0 +1,32 @@
+// Deterministic parallel map over a job index space.
+//
+// The one concurrency idiom every batch engine in this repo uses
+// (SweepRunner, the validation campaign in src/valid/): evaluate a pure
+// function of the job index for indices 0..count-1 over a private thread
+// pool and collect the results into a vector indexed like the input.
+// Because each result slot is written by exactly one invocation and the
+// function depends only on its index (never on time, thread id or
+// schedule), the returned vector is byte-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runner/thread_pool.h"
+
+namespace nocdr::runner {
+
+/// Returns {fn(0), ..., fn(count - 1)}, evaluated concurrently on
+/// \p threads workers (0 = hardware concurrency). \p fn must be safe to
+/// call concurrently and must not throw — catch per-job exceptions
+/// inside it and encode them in the row type.
+template <typename Row, typename Fn>
+std::vector<Row> ParallelMapIndexed(std::size_t count, std::size_t threads,
+                                    Fn&& fn) {
+  std::vector<Row> rows(count);
+  ThreadPool pool(threads);
+  pool.ParallelFor(count, [&](std::size_t i) { rows[i] = fn(i); });
+  return rows;
+}
+
+}  // namespace nocdr::runner

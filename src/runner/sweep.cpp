@@ -4,7 +4,8 @@
 #include <exception>
 
 #include "deadlock/resource_ordering.h"
-#include "runner/thread_pool.h"
+#include "runner/parallel_map.h"
+#include "util/digest.h"
 
 namespace nocdr::runner {
 
@@ -14,22 +15,6 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
-}
-
-void DigestField(std::uint64_t& h, std::uint64_t value) {
-  // FNV-1a over the 8 bytes of value.
-  for (int i = 0; i < 8; ++i) {
-    h ^= (value >> (8 * i)) & 0xffu;
-    h *= 0x100000001b3ull;
-  }
-}
-
-void DigestField(std::uint64_t& h, const std::string& value) {
-  for (const char c : value) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  DigestField(h, value.size());
 }
 
 SweepRow RunJob(const SweepJob& job, std::size_t job_index,
@@ -81,7 +66,7 @@ std::uint64_t JobSeed(std::uint64_t base_seed, std::size_t job_index) {
 }
 
 std::uint64_t Digest(const std::vector<SweepRow>& rows) {
-  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  std::uint64_t h = kFnvOffsetBasis;
   for (const SweepRow& row : rows) {
     DigestField(h, row.job_index);
     DigestField(h, row.design);
@@ -129,12 +114,9 @@ SweepRunner::SweepRunner(SweepConfig config) : config_(config) {}
 
 std::vector<SweepRow> SweepRunner::Run(
     const std::vector<SweepJob>& jobs) const {
-  std::vector<SweepRow> rows(jobs.size());
-  ThreadPool pool(config_.threads);
-  pool.ParallelFor(jobs.size(), [&](std::size_t i) {
-    rows[i] = RunJob(jobs[i], i, config_.base_seed);
-  });
-  return rows;
+  return ParallelMapIndexed<SweepRow>(
+      jobs.size(), config_.threads,
+      [&](std::size_t i) { return RunJob(jobs[i], i, config_.base_seed); });
 }
 
 }  // namespace nocdr::runner

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <queue>
 
 #include "util/error.h"
 
@@ -36,6 +37,25 @@ class Engine {
     result_.flows.resize(design.traffic.FlowCount());
     result_.channel_flits.assign(design.topology.ChannelCount(), 0);
     flow_latency_sum_.assign(design.traffic.FlowCount(), 0);
+
+    link_stamp_.assign(design.topology.LinkCount(), 0);
+    popped_stamp_.assign(vcs_.size(), 0);
+    claim_stamp_.assign(vcs_.size(), 0);
+    slot_stamp_.assign(vcs_.size(), 0);
+    free_slots_.assign(vcs_.size(), 0);
+    channel_active_.assign(vcs_.size(), 0);
+    flow_armed_.assign(sources_.size(), 0);
+    for (std::size_t f = 0; f < sources_.size(); ++f) {
+      if (schedule_.PacketCount(FlowId(f)) == 0) {
+        ++drained_sources_;
+      } else if (schedule_.ReadyAt(FlowId(f), 0) == 0) {
+        armed_.push_back(static_cast<std::uint32_t>(f));
+        flow_armed_[f] = 1;
+      } else {
+        ready_heap_.push({schedule_.ReadyAt(FlowId(f), 0),
+                          static_cast<std::uint32_t>(f)});
+      }
+    }
   }
 
   SimResult Run() {
@@ -88,7 +108,14 @@ class Engine {
   }
 
  private:
+  [[nodiscard]] bool Worklist() const {
+    return config_.engine == SimEngine::kWorklist;
+  }
+
   [[nodiscard]] bool FlitsInFlight() const {
+    if (Worklist()) {
+      return flits_in_network_ > 0;
+    }
     for (const VcState& vc : vcs_) {
       if (!vc.fifo.empty()) {
         return true;
@@ -98,6 +125,9 @@ class Engine {
   }
 
   [[nodiscard]] bool AllSourcesDrained() const {
+    if (Worklist()) {
+      return drained_sources_ == sources_.size();
+    }
     for (std::size_t i = 0; i < sources_.size(); ++i) {
       if (sources_[i].next_packet < schedule_.PacketCount(FlowId(i))) {
         return false;
@@ -107,46 +137,113 @@ class Engine {
   }
 
   /// One simulated cycle; returns true when at least one flit moved.
+  ///
+  /// Both engines visit channels in ascending id order starting at
+  /// (cycle mod channel count) with wraparound, then flows likewise —
+  /// the rotating round-robin. Channels with empty buffers and drained
+  /// flows are no-ops under that scan, so the worklist engine skipping
+  /// them is semantics-preserving and the two engines stay bit-identical.
   bool Step() {
-    link_used_.assign(design_.topology.LinkCount(), false);
-    popped_.assign(vcs_.size(), false);
-    // Claimable free slots per channel at cycle start.
-    free_slots_.resize(vcs_.size());
-    for (std::size_t c = 0; c < vcs_.size(); ++c) {
-      free_slots_[c] =
-          static_cast<int>(config_.buffer_depth) -
-          static_cast<int>(vcs_[c].fifo.size());
-    }
-    claimed_by_head_.assign(vcs_.size(), false);
+    stamp_ = cycle_ + 1;  // distinct from the 0 the scratch stamps start at
     moves_.clear();
     ejects_.clear();
     injections_.clear();
+    touched_.clear();
 
     bool moved = false;
-    // Channel traversals first, in rotating order.
-    const std::size_t n = vcs_.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t c = (k + cycle_) % n;
-      if (TryForwardFrom(ChannelId(c))) {
-        moved = true;
-      }
-    }
-    // Injections after the in-network traffic.
-    const std::size_t flows = sources_.size();
-    for (std::size_t k = 0; k < flows; ++k) {
-      const std::size_t f = (k + cycle_) % flows;
-      if (TryInject(FlowId(f))) {
-        moved = true;
-      }
+    if (config_.inject_first) {
+      moved |= PlanInjections();
+      moved |= PlanForwards();
+    } else {
+      moved |= PlanForwards();
+      moved |= PlanInjections();
     }
     Commit();
+    if (Worklist()) {
+      UpdateWorklists();
+    }
+    return moved;
+  }
+
+  /// Plans every possible channel traversal this cycle, in rotating
+  /// round-robin order over channel ids.
+  bool PlanForwards() {
+    bool moved = false;
+    if (Worklist()) {
+      if (!active_.empty()) {
+        const std::uint32_t pivot =
+            static_cast<std::uint32_t>(cycle_ % vcs_.size());
+        const auto split =
+            std::lower_bound(active_.begin(), active_.end(), pivot);
+        for (auto it = split; it != active_.end(); ++it) {
+          moved |= TryForwardFrom(ChannelId(*it));
+        }
+        for (auto it = active_.begin(); it != split; ++it) {
+          moved |= TryForwardFrom(ChannelId(*it));
+        }
+      }
+    } else {
+      const std::size_t n = vcs_.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t c = (k + cycle_) % n;
+        if (TryForwardFrom(ChannelId(c))) {
+          moved = true;
+        }
+      }
+    }
+    return moved;
+  }
+
+  /// Plans every possible injection this cycle, in rotating round-robin
+  /// order over flow ids.
+  bool PlanInjections() {
+    bool moved = false;
+    if (Worklist()) {
+      // Arm the flows whose next packet became ready by now. Equal ready
+      // times pop in unspecified order, but the batch is sorted before
+      // merging, so the armed list is schedule-deterministic.
+      if (!ready_heap_.empty() && ready_heap_.top().first <= cycle_) {
+        newly_armed_.clear();
+        while (!ready_heap_.empty() && ready_heap_.top().first <= cycle_) {
+          newly_armed_.push_back(ready_heap_.top().second);
+          flow_armed_[ready_heap_.top().second] = 1;
+          ready_heap_.pop();
+        }
+        std::sort(newly_armed_.begin(), newly_armed_.end());
+        const auto mid = static_cast<std::ptrdiff_t>(armed_.size());
+        armed_.insert(armed_.end(), newly_armed_.begin(),
+                      newly_armed_.end());
+        std::inplace_merge(armed_.begin(), armed_.begin() + mid,
+                           armed_.end());
+      }
+      if (!armed_.empty()) {
+        const std::uint32_t pivot =
+            static_cast<std::uint32_t>(cycle_ % sources_.size());
+        const auto split =
+            std::lower_bound(armed_.begin(), armed_.end(), pivot);
+        for (auto it = split; it != armed_.end(); ++it) {
+          moved |= TryInject(FlowId(*it));
+        }
+        for (auto it = armed_.begin(); it != split; ++it) {
+          moved |= TryInject(FlowId(*it));
+        }
+      }
+    } else {
+      const std::size_t flows = sources_.size();
+      for (std::size_t k = 0; k < flows; ++k) {
+        const std::size_t f = (k + cycle_) % flows;
+        if (TryInject(FlowId(f))) {
+          moved = true;
+        }
+      }
+    }
     return moved;
   }
 
   /// Plans the move of the head flit of channel \p c, if possible.
   bool TryForwardFrom(ChannelId c) {
     VcState& vc = vcs_[c.value()];
-    if (vc.fifo.empty() || popped_[c.value()]) {
+    if (vc.fifo.empty() || popped_stamp_[c.value()] == stamp_) {
       return false;
     }
     const Flit& flit = vc.fifo.front();
@@ -154,7 +251,7 @@ class Engine {
     if (flit.hop + 1u == route.size()) {
       // Last channel: eject into the destination NI (ideal sink).
       ejects_.push_back(c);
-      popped_[c.value()] = true;
+      popped_stamp_[c.value()] = stamp_;
       return true;
     }
     const ChannelId t = route[flit.hop + 1];
@@ -162,7 +259,7 @@ class Engine {
       return false;
     }
     moves_.push_back({c, t});
-    popped_[c.value()] = true;
+    popped_stamp_[c.value()] = stamp_;
     return true;
   }
 
@@ -190,6 +287,7 @@ class Engine {
       ++stats.packets_delivered;
       stats.max_latency = std::max<std::uint64_t>(stats.max_latency, 1);
       flow_latency_sum_[f.value()] += 1;
+      NotePacketInjected(f);
       return true;
     }
     Flit flit;
@@ -210,10 +308,46 @@ class Engine {
     if (flit.is_tail) {
       ++src.next_packet;
       src.next_flit = 0;
+      NotePacketInjected(f);
     } else {
       ++src.next_flit;
     }
     return true;
+  }
+
+  /// Bookkeeping after a packet finished injecting (tail planned, or a
+  /// core-local delivery): the flow either drained, stays armed (next
+  /// packet already ready), or parks in the ready heap until its next
+  /// packet's ready cycle.
+  void NotePacketInjected(FlowId f) {
+    const SourceState& src = sources_[f.value()];
+    if (src.next_packet >= schedule_.PacketCount(f)) {
+      ++drained_sources_;
+      flow_armed_[f.value()] = 0;
+      disarm_dirty_ = true;
+      return;
+    }
+    if (Worklist()) {
+      const std::uint64_t ready = schedule_.ReadyAt(f, src.next_packet);
+      if (ready > cycle_) {
+        flow_armed_[f.value()] = 0;
+        disarm_dirty_ = true;
+        ready_heap_.push({ready, f.value()});
+      }
+    }
+  }
+
+  /// Claimable free slots of channel \p t this cycle, lazily initialized
+  /// from the buffer occupancy at cycle start (buffers only change in
+  /// Commit, after all planning).
+  int& FreeSlots(ChannelId t) {
+    if (slot_stamp_[t.value()] != stamp_) {
+      slot_stamp_[t.value()] = stamp_;
+      free_slots_[t.value()] =
+          static_cast<int>(config_.buffer_depth) -
+          static_cast<int>(vcs_[t.value()].fifo.size());
+    }
+    return free_slots_[t.value()];
   }
 
   /// Claims buffer space, link bandwidth and wormhole ownership for
@@ -221,10 +355,10 @@ class Engine {
   /// if any resource is unavailable this cycle.
   bool ClaimTransfer(ChannelId t, const Flit& flit) {
     const LinkId link = design_.topology.ChannelAt(t).link;
-    if (link_used_[link.value()]) {
+    if (link_stamp_[link.value()] == stamp_) {
       return false;
     }
-    if (free_slots_[t.value()] <= 0) {
+    if (FreeSlots(t) <= 0) {
       return false;
     }
     VcState& target = vcs_[t.value()];
@@ -235,22 +369,27 @@ class Engine {
     } else {
       // Only a head flit may allocate a free channel, and only one head
       // per channel per cycle.
-      if (!flit.is_head || claimed_by_head_[t.value()]) {
+      if (!flit.is_head || claim_stamp_[t.value()] == stamp_) {
         return false;
       }
-      claimed_by_head_[t.value()] = true;
+      claim_stamp_[t.value()] = stamp_;
     }
-    link_used_[link.value()] = true;
-    --free_slots_[t.value()];
+    link_stamp_[link.value()] = stamp_;
+    --FreeSlots(t);
     return true;
   }
 
   /// Applies the planned ejections, forwards and injections.
   void Commit() {
+    const bool track = Worklist();
     for (ChannelId c : ejects_) {
       VcState& vc = vcs_[c.value()];
       Flit flit = vc.fifo.front();
       vc.fifo.pop_front();
+      --flits_in_network_;
+      if (track) {
+        touched_.push_back(c.value());
+      }
       ++result_.flits_delivered;
       ++result_.channel_flits[c.value()];
       if (flit.is_tail) {
@@ -271,6 +410,10 @@ class Engine {
       VcState& dst = vcs_[to.value()];
       Flit flit = src.fifo.front();
       src.fifo.pop_front();
+      if (track) {
+        touched_.push_back(from.value());
+        touched_.push_back(to.value());
+      }
       ++result_.channel_flits[from.value()];
       if (flit.is_head) {
         dst.owner = flit.packet;
@@ -288,6 +431,55 @@ class Engine {
         dst.owner = flit.packet;
       }
       dst.fifo.push_back(flit);
+      ++flits_in_network_;
+      if (track) {
+        touched_.push_back(route.front().value());
+      }
+    }
+  }
+
+  /// Re-syncs the active-channel and live-flow worklists with the state
+  /// changes Commit just applied. O(touched + active) and only when
+  /// something changed.
+  void UpdateWorklists() {
+    if (disarm_dirty_) {
+      armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
+                                  [&](std::uint32_t f) {
+                                    return !flow_armed_[f];
+                                  }),
+                   armed_.end());
+      disarm_dirty_ = false;
+    }
+    if (touched_.empty()) {
+      return;
+    }
+    bool removed = false;
+    newly_active_.clear();
+    for (const std::uint32_t c : touched_) {
+      const bool now = !vcs_[c].fifo.empty();
+      if (now == static_cast<bool>(channel_active_[c])) {
+        continue;
+      }
+      channel_active_[c] = now ? 1 : 0;
+      if (now) {
+        newly_active_.push_back(c);
+      } else {
+        removed = true;
+      }
+    }
+    if (removed) {
+      active_.erase(
+          std::remove_if(active_.begin(), active_.end(),
+                         [&](std::uint32_t c) { return !channel_active_[c]; }),
+          active_.end());
+    }
+    if (!newly_active_.empty()) {
+      std::sort(newly_active_.begin(), newly_active_.end());
+      const auto mid = static_cast<std::ptrdiff_t>(active_.size());
+      active_.insert(active_.end(), newly_active_.begin(),
+                     newly_active_.end());
+      std::inplace_merge(active_.begin(), active_.begin() + mid,
+                         active_.end());
     }
   }
 
@@ -299,15 +491,15 @@ class Engine {
   bool DetectCircularWait() {
     const std::size_t n = vcs_.size();
     std::vector<std::int32_t> waits_on(n, -1);
-    for (std::size_t c = 0; c < n; ++c) {
+    const auto consider = [&](std::size_t c) {
       const VcState& vc = vcs_[c];
       if (vc.fifo.empty()) {
-        continue;
+        return;
       }
       const Flit& flit = vc.fifo.front();
       const Route& route = design_.routes.RouteOf(flit.packet.flow);
       if (flit.hop + 1u == route.size()) {
-        continue;  // ejection never blocks
+        return;  // ejection never blocks
       }
       const ChannelId t = route[flit.hop + 1];
       const VcState& target = vcs_[t.value()];
@@ -316,6 +508,15 @@ class Engine {
       const bool full = target.fifo.size() >= config_.buffer_depth;
       if (foreign_owner || full) {
         waits_on[c] = static_cast<std::int32_t>(t.value());
+      }
+    };
+    if (Worklist()) {
+      for (const std::uint32_t c : active_) {
+        consider(c);
+      }
+    } else {
+      for (std::size_t c = 0; c < n; ++c) {
+        consider(c);
       }
     }
     // Functional graph (out-degree <= 1): cycle detection by pointer
@@ -354,14 +555,38 @@ class Engine {
   std::uint64_t latency_sum_ = 0;
   std::vector<std::uint64_t> flow_latency_sum_;
 
-  // Per-cycle planning scratch.
-  std::vector<bool> link_used_;
-  std::vector<bool> popped_;
+  // Per-cycle planning scratch, epoch-stamped so no O(channels) clearing
+  // is needed between cycles (stamp == cycle + 1 means "set this cycle").
+  std::uint64_t stamp_ = 0;
+  std::vector<std::uint64_t> link_stamp_;
+  std::vector<std::uint64_t> popped_stamp_;
+  std::vector<std::uint64_t> claim_stamp_;
+  std::vector<std::uint64_t> slot_stamp_;
   std::vector<int> free_slots_;
-  std::vector<bool> claimed_by_head_;
   std::vector<std::pair<ChannelId, ChannelId>> moves_;
   std::vector<ChannelId> ejects_;
   std::vector<Flit> injections_;
+
+  // Worklist-engine state. `active_` is the sorted list of channels with
+  // a non-empty buffer (mirrored by channel_active_); `armed_` the
+  // sorted list of flows with a ready packet pending injection
+  // (mirrored by flow_armed_). Flows whose next packet lies in the
+  // future park in ready_heap_, a min-heap on the ready cycle, so
+  // lightly loaded flows cost nothing per cycle.
+  std::vector<std::uint32_t> active_;
+  std::vector<char> channel_active_;
+  std::vector<std::uint32_t> armed_;
+  std::vector<char> flow_armed_;
+  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>,
+                      std::vector<std::pair<std::uint64_t, std::uint32_t>>,
+                      std::greater<>>
+      ready_heap_;
+  std::vector<std::uint32_t> touched_;       // channels mutated in Commit
+  std::vector<std::uint32_t> newly_active_;  // scratch for UpdateWorklists
+  std::vector<std::uint32_t> newly_armed_;   // scratch for PlanInjections
+  std::uint64_t flits_in_network_ = 0;
+  std::size_t drained_sources_ = 0;
+  bool disarm_dirty_ = false;
 };
 
 }  // namespace

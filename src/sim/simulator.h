@@ -31,7 +31,30 @@
 
 namespace nocdr {
 
+/// How the engine finds work each cycle. Both engines are cycle-accurate
+/// and produce bit-identical SimResults (property-tested); they differ
+/// only in per-cycle cost.
+enum class SimEngine {
+  /// Worklists of non-empty channels and undrained sources; per-cycle
+  /// cost is O(active), which is what makes million-packet validation
+  /// campaigns tractable on large designs.
+  kWorklist,
+  /// The reference formulation: scan every channel and every flow each
+  /// cycle. Kept as the baseline the worklist engine is differential-
+  /// tested and benchmarked against.
+  kFullScan,
+};
+
 struct SimConfig {
+  SimEngine engine = SimEngine::kWorklist;
+  /// Arbitrate injections before in-network traversals instead of after.
+  /// Both orders are legal router arbitrations; the default favors
+  /// in-network traffic (the common switch allocator policy), which can
+  /// phase-lock some statically unsafe designs into a live steady state
+  /// — a freed channel is always re-taken by the parked waiter it would
+  /// have starved. Injection-first is the adversarial order validation
+  /// campaigns use to detonate such designs (src/valid/).
+  bool inject_first = false;
   /// Buffer depth of every channel (flits).
   std::uint16_t buffer_depth = 4;
   /// Hard cap on simulated cycles.

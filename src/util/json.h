@@ -1,10 +1,16 @@
-// Minimal JSON emission for benchmark row tracking.
+// Minimal JSON emission and parsing.
 //
-// Every experiment harness appends flat rows to a BENCH_<name>.json file
-// (JSON Lines: one object per line) so the perf trajectory of the repo
-// can be tracked across PRs by dumb tooling — no parser dependencies,
-// no nesting. Only the value shapes the benches need are supported:
+// Emission: every experiment harness appends flat rows to a
+// BENCH_<name>.json file (JSON Lines: one object per line) so the perf
+// trajectory of the repo can be tracked across PRs by dumb tooling — no
+// nesting. Only the value shapes the benches need are supported:
 // strings, bools, integers and doubles.
+//
+// Parsing: JsonValue is a small recursive-descent reader for the
+// documents this library itself writes — deadlock certificates and
+// validation-campaign repro dumps (src/valid/). Numbers keep their
+// source token so full-range 64-bit seeds round-trip exactly instead of
+// being squeezed through a double.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,46 @@ class JsonObject {
  private:
   /// Pre-rendered key/value fragments.
   std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// A parsed JSON value.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (surrounding whitespace allowed). Throws
+  /// InvalidModelError with an offset-annotated message on malformed
+  /// input or trailing garbage.
+  static JsonValue Parse(const std::string& text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool IsNull() const { return kind_ == Kind::kNull; }
+
+  /// Scalar accessors; each throws InvalidModelError when the value has
+  /// the wrong kind (or, for the integer readers, does not fit).
+  [[nodiscard]] bool AsBool() const;
+  [[nodiscard]] double AsDouble() const;
+  [[nodiscard]] std::uint64_t AsUint() const;
+  [[nodiscard]] std::int64_t AsInt() const;
+  [[nodiscard]] const std::string& AsString() const;
+
+  /// Array elements; throws unless kind() == kArray.
+  [[nodiscard]] const std::vector<JsonValue>& Items() const;
+
+  /// Object member lookup: Find returns nullptr when absent, At throws.
+  /// Both throw unless kind() == kObject.
+  [[nodiscard]] const JsonValue* Find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& At(const std::string& key) const;
+
+ private:
+  class Parser;
+
+  Kind kind_ = Kind::kNull;
+  /// Decoded string for kString, source token for kNumber.
+  std::string scalar_;
+  bool bool_ = false;
+  std::vector<JsonValue> items_;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
 };
 
 /// Accumulates rows for one bench and writes them as BENCH_<name>.json

@@ -1,0 +1,87 @@
+#include "valid/repro.h"
+
+#include <sstream>
+
+#include "noc/io.h"
+#include "util/error.h"
+
+namespace nocdr::valid {
+
+namespace {
+
+SimEngine ParseEngine(const std::string& name) {
+  if (name == "worklist") {
+    return SimEngine::kWorklist;
+  }
+  if (name == "fullscan") {
+    return SimEngine::kFullScan;
+  }
+  throw InvalidModelError("ReproFromJson: unknown sim engine \"" + name +
+                          "\"");
+}
+
+}  // namespace
+
+std::string ReproToJson(const Repro& repro) {
+  std::ostringstream design_text;
+  WriteDesign(design_text, repro.design);
+  JsonObject json;
+  json.Set("version", 1)
+      .Set("trial", repro.trial_index)
+      .Set("arm", ArmName(repro.arm))
+      .Set("seed", repro.seed)
+      .Set("mismatch", repro.mismatch)
+      .Set("shrink_steps", repro.shrink_steps)
+      .Set("io_stable", repro.io_stable)
+      .Set("buffer_depth", repro.workload.buffer_depth)
+      .Set("packets_per_flow", repro.workload.packets_per_flow)
+      .Set("packet_length", repro.workload.packet_length)
+      .Set("max_cycles", repro.workload.max_cycles)
+      .Set("stall_threshold", repro.workload.stall_threshold)
+      .Set("max_escalations", repro.workload.max_escalations)
+      .Set("engine", repro.workload.engine == SimEngine::kWorklist
+                         ? "worklist"
+                         : "fullscan")
+      .Set("design", design_text.str());
+  return json.Dump();
+}
+
+Repro ReproFromJson(const std::string& json) {
+  const JsonValue value = JsonValue::Parse(json);
+  Require(value.At("version").AsUint() == 1,
+          "ReproFromJson: unsupported repro version");
+  Repro repro;
+  repro.trial_index = value.At("trial").AsUint();
+  const std::string arm_name = value.At("arm").AsString();
+  const auto arm = ParseArm(arm_name);
+  Require(arm.has_value(), "ReproFromJson: unknown arm \"" + arm_name + "\"");
+  repro.arm = *arm;
+  repro.seed = value.At("seed").AsUint();
+  repro.mismatch = value.At("mismatch").AsString();
+  repro.shrink_steps = value.At("shrink_steps").AsUint();
+  repro.io_stable = value.At("io_stable").AsBool();
+  repro.workload.buffer_depth =
+      static_cast<std::uint16_t>(value.At("buffer_depth").AsUint());
+  repro.workload.packets_per_flow =
+      static_cast<std::uint32_t>(value.At("packets_per_flow").AsUint());
+  repro.workload.packet_length =
+      static_cast<std::uint16_t>(value.At("packet_length").AsUint());
+  repro.workload.max_cycles = value.At("max_cycles").AsUint();
+  repro.workload.stall_threshold = value.At("stall_threshold").AsUint();
+  repro.workload.max_escalations = value.At("max_escalations").AsUint();
+  repro.workload.engine = ParseEngine(value.At("engine").AsString());
+  std::istringstream design_text(value.At("design").AsString());
+  repro.design = ReadDesign(design_text);
+  return repro;
+}
+
+ReplayResult ReplayRepro(const Repro& repro) {
+  ReplayResult result;
+  result.row =
+      ClassifyTrial(repro.design, repro.arm, repro.workload, repro.seed);
+  result.row.trial_index = repro.trial_index;
+  result.reproduced = result.row.verdict == TrialVerdict::kMismatch;
+  return result;
+}
+
+}  // namespace nocdr::valid

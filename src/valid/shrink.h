@@ -1,0 +1,68 @@
+// Deterministic mismatch minimizer for validation-campaign repros.
+//
+// When a trial breaks the certificate/simulation contract, the raw
+// design is usually far too large to debug. The shrinker greedily drops
+// flows (highest index first, multiple rounds) and then prunes every
+// switch, link, channel and core the surviving flows no longer touch —
+// keeping a candidate only while the mismatch persists — and only while
+// it stays the same MismatchKind, so minimization cannot morph one
+// disagreement into a different one. Every candidate evaluation is
+// re-seeded deterministically from (seed, step), so a shrink step
+// survives only if the mismatch is robust to the workload seed, not a
+// seed accident. The design is canonicalized through the noc/io text
+// round trip up front (every later transform preserves io-stability),
+// so the dumped repro parses back to exactly the design that was
+// validated; ShrinkResult::io_stable records whether that held.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/design.h"
+#include "valid/campaign.h"
+
+namespace nocdr::valid {
+
+struct ShrinkResult {
+  /// The minimized reproducer.
+  NocDesign design;
+  /// Workload seed under which \p design was last observed to mismatch;
+  /// replay with this seed to reproduce.
+  std::uint64_t seed = 0;
+  /// Committed shrink steps (flow drops + structure prunes).
+  std::size_t steps = 0;
+  /// Candidate designs evaluated in total.
+  std::size_t candidates = 0;
+  /// True when \p design survives the noc/io text round trip with
+  /// identical channel numbering, i.e. a dumped repro parses back to
+  /// exactly the design that was validated. The shrinker canonicalizes
+  /// up front to make this the overwhelmingly common case; false means
+  /// the mismatch only reproduced under a channel numbering the text
+  /// format cannot express, so a replay may come back clean.
+  bool io_stable = false;
+};
+
+/// Returns a copy of \p design containing only the flows with
+/// keep[flow.value()] == true (routes renumbered accordingly). Topology,
+/// cores and attachment are untouched, so all ids except FlowId stay
+/// stable.
+NocDesign KeepFlows(const NocDesign& design, const std::vector<bool>& keep);
+
+/// Drops every switch, link, channel and core that no flow of \p design
+/// references (directly or via attachment of a flow endpoint),
+/// renumbering ids densely. Per-link VC indices used by routes are
+/// preserved.
+NocDesign PruneUnused(const NocDesign& design);
+
+/// Minimizes a design whose (arm, workload, seed) trial mismatches.
+/// Precondition: ClassifyTrial(design, arm, workload, seed) reports
+/// kMismatch; if it does not, the input is returned unshrunk. When the
+/// caller already classified the trial, pass the observed kind via
+/// \p known_kind to skip re-running that (expensive) baseline.
+ShrinkResult ShrinkMismatch(
+    const NocDesign& design, TrialArm arm, const WorkloadConfig& workload,
+    std::uint64_t seed,
+    std::optional<MismatchKind> known_kind = std::nullopt);
+
+}  // namespace nocdr::valid

@@ -1,10 +1,12 @@
-// JSON emission used for BENCH_*.json perf-trajectory rows.
+// JSON emission used for BENCH_*.json perf-trajectory rows, and the
+// minimal parser used by certificates and campaign repro dumps.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "util/error.h"
 #include "util/json.h"
 
 namespace nocdr {
@@ -40,6 +42,77 @@ TEST(JsonTest, NonFiniteDoublesBecomeNull) {
   const std::string dump =
       JsonObject().Set("inf", 1.0 / 0.0).Set("nan", 0.0 / 0.0).Dump();
   EXPECT_EQ(dump, "{\"inf\":null,\"nan\":null}");
+}
+
+// ------------------------------------------------------------- parsing
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").IsNull());
+  EXPECT_TRUE(JsonValue::Parse("true").AsBool());
+  EXPECT_FALSE(JsonValue::Parse(" false ").AsBool());
+  EXPECT_EQ(JsonValue::Parse("42").AsUint(), 42u);
+  EXPECT_EQ(JsonValue::Parse("-7").AsInt(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("2.5e2").AsDouble(), 250.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParseTest, Uint64RoundTripsExactly) {
+  // Full-range 64-bit seeds must not be squeezed through a double.
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  EXPECT_EQ(JsonValue::Parse(std::to_string(big)).AsUint(), big);
+  const std::uint64_t seed = 16902019798918317163ull;
+  EXPECT_EQ(JsonValue::Parse(std::to_string(seed)).AsUint(), seed);
+}
+
+TEST(JsonParseTest, ParsesObjectsAndArrays) {
+  const JsonValue v = JsonValue::Parse(
+      "{\"a\":[1,2,3],\"b\":{\"c\":true},\"d\":\"x\",\"e\":[]}");
+  ASSERT_EQ(v.kind(), JsonValue::Kind::kObject);
+  ASSERT_EQ(v.At("a").Items().size(), 3u);
+  EXPECT_EQ(v.At("a").Items()[2].AsUint(), 3u);
+  EXPECT_TRUE(v.At("b").At("c").AsBool());
+  EXPECT_EQ(v.At("d").AsString(), "x");
+  EXPECT_TRUE(v.At("e").Items().empty());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_THROW(static_cast<void>(v.At("missing")), InvalidModelError);
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  const JsonValue v =
+      JsonValue::Parse("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  EXPECT_EQ(v.AsString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParseTest, RoundTripsJsonObjectOutput) {
+  const std::string dump = JsonObject()
+                               .Set("name", "line \"quoted\"\n")
+                               .Set("count", std::size_t{7})
+                               .Set("ratio", 0.25)
+                               .Set("ok", true)
+                               .Dump();
+  const JsonValue v = JsonValue::Parse(dump);
+  EXPECT_EQ(v.At("name").AsString(), "line \"quoted\"\n");
+  EXPECT_EQ(v.At("count").AsUint(), 7u);
+  EXPECT_DOUBLE_EQ(v.At("ratio").AsDouble(), 0.25);
+  EXPECT_TRUE(v.At("ok").AsBool());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "nul", "\"bad\\q\"", "--3", "{1:2}"}) {
+    EXPECT_THROW(static_cast<void>(JsonValue::Parse(bad)), InvalidModelError)
+        << bad;
+  }
+}
+
+TEST(JsonParseTest, TypeMismatchesThrow) {
+  const JsonValue v = JsonValue::Parse("{\"s\":\"x\",\"n\":-1}");
+  EXPECT_THROW(static_cast<void>(v.At("s").AsUint()), InvalidModelError);
+  EXPECT_THROW(static_cast<void>(v.At("n").AsUint()), InvalidModelError);
+  EXPECT_THROW(static_cast<void>(v.At("s").Items()), InvalidModelError);
+  EXPECT_THROW(static_cast<void>(v.AsString()), InvalidModelError);
+  EXPECT_EQ(v.At("n").AsInt(), -1);
 }
 
 TEST(BenchJsonWriterTest, WritesOneRowPerLineWithBenchTag) {

@@ -154,6 +154,39 @@ TEST(SweepRunnerTest, FactoryExceptionIsCapturedPerJob) {
   EXPECT_TRUE(rows[2].deadlock_free);
 }
 
+TEST(SweepRunnerTest, ThrowingJobDoesNotPoisonSiblingsAcrossThreadCounts) {
+  // A mid-batch throwing job must fail only its own row, and the digest
+  // must stay byte-identical for any thread count even in that scenario.
+  std::vector<runner::SweepJob> jobs = MakeJobs();
+  runner::SweepJob poison;
+  poison.design = "poison";
+  poison.variant = "throws";
+  poison.factory = [](Rng&) -> NocDesign {
+    throw AlgorithmLimitError("deliberate mid-sweep failure");
+  };
+  const std::size_t poisoned = jobs.size() / 2;
+  jobs.insert(jobs.begin() + static_cast<std::ptrdiff_t>(poisoned), poison);
+
+  const auto one = runner::SweepRunner({.threads = 1}).Run(jobs);
+  const auto two = runner::SweepRunner({.threads = 2}).Run(jobs);
+  const auto eight = runner::SweepRunner({.threads = 8}).Run(jobs);
+
+  ASSERT_EQ(one.size(), jobs.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    if (i == poisoned) {
+      EXPECT_EQ(one[i].error, "deliberate mid-sweep failure");
+      EXPECT_FALSE(one[i].deadlock_free);
+    } else {
+      EXPECT_TRUE(one[i].error.empty()) << "row " << i << ": "
+                                        << one[i].error;
+      EXPECT_TRUE(one[i].deadlock_free) << "row " << i;
+    }
+  }
+  const std::uint64_t digest = runner::Digest(one);
+  EXPECT_EQ(digest, runner::Digest(two));
+  EXPECT_EQ(digest, runner::Digest(eight));
+}
+
 TEST(SweepRunnerTest, RowToJsonRoundsTrip) {
   runner::SweepRow row;
   row.design = "d";

@@ -157,6 +157,156 @@ TEST(SimTest, InvalidConfigThrows) {
   EXPECT_THROW(SimulateWorkload(d, cfg), InvalidModelError);
 }
 
+void ExpectSameResult(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.deadlocked, b.deadlocked);
+  EXPECT_EQ(a.deadlock_cycle, b.deadlock_cycle);
+  EXPECT_EQ(a.stuck_flits, b.stuck_flits);
+  EXPECT_DOUBLE_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.max_packet_latency, b.max_packet_latency);
+  EXPECT_EQ(a.channel_flits, b.channel_flits);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    EXPECT_EQ(a.flows[f].packets_delivered, b.flows[f].packets_delivered);
+    EXPECT_DOUBLE_EQ(a.flows[f].avg_latency, b.flows[f].avg_latency);
+    EXPECT_EQ(a.flows[f].max_latency, b.flows[f].max_latency);
+  }
+}
+
+/// The worklist engine must be bit-identical to the full-scan reference
+/// on every workload shape: clean runs, deadlocks, Bernoulli traffic,
+/// both arbitration orders.
+TEST(SimEngineTest, WorklistMatchesFullScanEverywhere) {
+  std::vector<std::pair<std::string, NocDesign>> designs;
+  designs.emplace_back("line", LineDesign());
+  designs.emplace_back("ring4", testing::MakeRingDesign(4, 2));
+  designs.emplace_back("ring8", testing::MakeRingDesign(8, 3));
+  for (std::uint64_t seed : {3ull, 4ull, 5ull}) {
+    designs.emplace_back("random" + std::to_string(seed),
+                         testing::MakeRandomDesign(seed, 8, 12, 24));
+  }
+  std::vector<SimConfig> configs;
+  {
+    SimConfig deadlocky = QuickConfig(8);
+    deadlocky.traffic.packet_length = 12;
+    deadlocky.buffer_depth = 2;
+    configs.push_back(deadlocky);
+    SimConfig tiny = QuickConfig(3);
+    tiny.buffer_depth = 1;
+    tiny.traffic.packet_length = 1;
+    configs.push_back(tiny);
+    SimConfig bernoulli;
+    bernoulli.traffic.mode = InjectionMode::kBernoulli;
+    bernoulli.traffic.reference_injection_rate = 0.05;
+    bernoulli.traffic.packet_length = 4;
+    bernoulli.max_cycles = 4000;
+    configs.push_back(bernoulli);
+    SimConfig inject_first = QuickConfig(6);
+    inject_first.inject_first = true;
+    inject_first.buffer_depth = 1;
+    configs.push_back(inject_first);
+  }
+  for (const auto& [name, design] : designs) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      SimConfig cfg = configs[c];
+      cfg.engine = SimEngine::kFullScan;
+      const SimResult reference = SimulateWorkload(design, cfg);
+      cfg.engine = SimEngine::kWorklist;
+      const SimResult optimized = SimulateWorkload(design, cfg);
+      SCOPED_TRACE(name + " config " + std::to_string(c));
+      ExpectSameResult(reference, optimized);
+    }
+  }
+}
+
+void ExpectConsistentStats(const NocDesign& design, const SimResult& r) {
+  EXPECT_LE(r.packets_delivered, r.packets_offered);
+  EXPECT_LE(r.packets_delivered, r.packets_injected);
+  EXPECT_EQ(r.flows.size(), design.traffic.FlowCount());
+  std::uint64_t per_flow = 0;
+  for (const FlowStats& stats : r.flows) {
+    per_flow += stats.packets_delivered;
+  }
+  EXPECT_EQ(per_flow, r.packets_delivered);
+}
+
+TEST(SimEdgeCaseTest, SingleFlitPackets) {
+  // packet_length == 1: the head is also the tail.
+  const auto d = LineDesign();
+  SimConfig cfg = QuickConfig(10);
+  cfg.traffic.packet_length = 1;
+  const auto r = SimulateWorkload(d, cfg);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.AllDelivered());
+  EXPECT_EQ(r.flits_delivered, 10u);
+  EXPECT_EQ(r.stuck_flits, 0u);
+  ExpectConsistentStats(d, r);
+}
+
+TEST(SimEdgeCaseTest, SingleSlotBuffers) {
+  const auto d = LineDesign();
+  SimConfig cfg = QuickConfig(10);
+  cfg.buffer_depth = 1;
+  const auto r = SimulateWorkload(d, cfg);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.AllDelivered());
+  ExpectConsistentStats(d, r);
+}
+
+TEST(SimEdgeCaseTest, ZeroFlowsTerminatesImmediately) {
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch(), b = d.topology.AddSwitch();
+  d.topology.AddLink(a, b);
+  d.routes.Resize(0);
+  d.Validate();
+  for (const SimEngine engine :
+       {SimEngine::kWorklist, SimEngine::kFullScan}) {
+    SimConfig cfg = QuickConfig(5);
+    cfg.engine = engine;
+    const auto r = SimulateWorkload(d, cfg);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.packets_offered, 0u);
+    EXPECT_TRUE(r.AllDelivered());
+    EXPECT_LE(r.cycles, 2u);
+    ExpectConsistentStats(d, r);
+  }
+}
+
+TEST(SimEdgeCaseTest, SelfFlowIsRejectedByTheModel) {
+  // A flow whose source core equals its destination core is not a legal
+  // communication edge.
+  NocDesign d;
+  d.topology.AddSwitch();
+  const CoreId x = d.traffic.AddCore();
+  EXPECT_THROW(d.traffic.AddFlow(x, x, 10.0), InvalidModelError);
+}
+
+TEST(SimEdgeCaseTest, SameSwitchFlowUsesLocalDelivery) {
+  // Source and destination attach to the same switch: the empty route is
+  // the degenerate "source equals destination" case the simulator must
+  // deliver without touching the network.
+  NocDesign d;
+  const SwitchId a = d.topology.AddSwitch(), b = d.topology.AddSwitch();
+  d.topology.AddLink(a, b);
+  const CoreId x = d.traffic.AddCore(), y = d.traffic.AddCore();
+  d.attachment = {a, a};
+  d.traffic.AddFlow(x, y, 10.0);
+  d.routes.Resize(1);
+  d.Validate();
+  SimConfig cfg = QuickConfig(7);
+  cfg.traffic.packet_length = 1;
+  const auto r = SimulateWorkload(d, cfg);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.AllDelivered());
+  EXPECT_EQ(r.packets_delivered, 7u);
+  EXPECT_EQ(r.stuck_flits, 0u);
+  ExpectConsistentStats(d, r);
+}
+
 TEST(SimTest, ThroughputBoundedByLinkBandwidth) {
   // Two flows share one link; at most one flit per cycle can cross it,
   // so delivering all flits takes at least total_flits cycles.
