@@ -17,7 +17,10 @@
 //   --seed S         base seed (default 1)
 //   --threads T      worker threads, 0 = hardware (default 0)
 //   --arms a,b,c     comma list of untreated|removal_incremental|
-//                    removal_rebuild|resource_ordering (default: all)
+//                    removal_rebuild|resource_ordering|updown
+//                    (default: all)
+//   --sources a,b,c  comma list of design sources synthesized|mesh|
+//                    torus|ring|fat_tree (default: all)
 //   --no-shrink      skip minimizing mismatches
 //   --no-perf        skip the simulator speedup measurement
 //   --check-determinism  rerun at 1 and 3 threads, require equal digests
@@ -57,7 +60,8 @@ struct Options {
 [[noreturn]] void Usage(const std::string& error) {
   std::cerr << "bench_validation_campaign: " << error << "\n"
             << "flags: --trials N --seed S --threads T --arms a,b,c "
-               "--no-shrink --no-perf --check-determinism --replay FILE\n";
+               "--sources a,b,c --no-shrink --no-perf --check-determinism "
+               "--replay FILE\n";
   std::exit(2);
 }
 
@@ -105,6 +109,20 @@ Options ParseOptions(int argc, char** argv) {
       }
       if (opts.campaign.arms.empty()) {
         Usage("--arms needs at least one arm");
+      }
+    } else if (arg == "--sources") {
+      opts.campaign.sources.clear();
+      std::stringstream list(next_value(i));
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        const auto source = valid::ParseSource(name);
+        if (!source.has_value()) {
+          Usage("unknown design source \"" + name + "\"");
+        }
+        opts.campaign.sources.push_back(*source);
+      }
+      if (opts.campaign.sources.empty()) {
+        Usage("--sources needs at least one source");
       }
     } else if (arg == "--no-shrink") {
       opts.campaign.shrink = false;
@@ -180,14 +198,16 @@ double MeasureSimSpeedup(const valid::CampaignConfig& config,
                          BenchJsonWriter& json) {
   std::uint64_t largest_seed = 0;
   std::size_t largest_channels = 0;
+  valid::DesignSource largest_source = valid::DesignSource::kSynthesized;
   for (const valid::TrialRow& row : rows) {
     if (row.channels_before > largest_channels) {
       largest_channels = row.channels_before;
       largest_seed = row.design_seed;
+      largest_source = row.source;
     }
   }
-  NocDesign design =
-      valid::GenerateTrialDesign(largest_seed, config.envelope);
+  NocDesign design = valid::GenerateTrialDesign(largest_source, largest_seed,
+                                                config.envelope);
   RemoveDeadlocks(design);
 
   SimConfig dense;
@@ -249,7 +269,8 @@ int main(int argc, char** argv) {
 
   std::cout << "=== validation campaign: " << opts.campaign.trials
             << " trials, seed " << opts.campaign.base_seed << ", "
-            << opts.campaign.arms.size() << " arms ===\n\n";
+            << opts.campaign.arms.size() << " arms, "
+            << opts.campaign.sources.size() << " design sources ===\n\n";
   const auto t0 = std::chrono::steady_clock::now();
   const valid::CampaignResult result = valid::RunCampaign(opts.campaign);
   const double campaign_ms = MillisSince(t0);
@@ -259,41 +280,79 @@ int main(int argc, char** argv) {
     json.AddRow(valid::RowToJson(row).Set("section", "trial"));
   }
 
-  // Per-arm aggregates.
-  TextTable table;
-  table.SetHeader({"arm", "trials", "positive", "detonated", "mismatch",
-                   "escalated"});
-  for (const valid::TrialArm arm : opts.campaign.arms) {
-    std::size_t trials = 0, positive = 0, detonated = 0, mismatch = 0,
-                escalated = 0;
-    for (const valid::TrialRow& row : result.rows) {
-      if (row.arm != arm) {
-        continue;
-      }
+  // Per-arm and per-source aggregates.
+  struct Aggregate {
+    std::size_t trials = 0, positive = 0, detonated = 0, infeasible = 0,
+                mismatch = 0, escalated = 0, extra_vcs = 0;
+
+    void Absorb(const valid::TrialRow& row) {
       ++trials;
       positive += row.verdict == valid::TrialVerdict::kPositiveDelivered;
       detonated += row.verdict == valid::TrialVerdict::kNegativeDetonated;
+      infeasible += row.verdict == valid::TrialVerdict::kArmInfeasible;
       mismatch += row.verdict == valid::TrialVerdict::kMismatch;
       escalated += row.escalations > 0;
+      // Rows whose treatment threw never set channels_after; skip them
+      // instead of underflowing.
+      if (row.channels_after >= row.channels_before) {
+        extra_vcs += row.channels_after - row.channels_before;
+      }
     }
-    table.AddRow({valid::ArmName(arm), std::to_string(trials),
-                  std::to_string(positive), std::to_string(detonated),
-                  std::to_string(mismatch), std::to_string(escalated)});
-    json.AddRow(JsonObject()
-                    .Set("section", "arm_summary")
-                    .Set("arm", valid::ArmName(arm))
-                    .Set("trials", trials)
-                    .Set("positive", positive)
-                    .Set("detonated", detonated)
-                    .Set("mismatch", mismatch)
-                    .Set("escalated", escalated));
+  };
+  const auto print_group =
+      [&](const std::string& key, const std::vector<std::string>& names,
+          const auto& selector) {
+        TextTable table;
+        table.SetHeader({key, "trials", "positive", "detonated",
+                         "infeasible", "mismatch", "escalated",
+                         "extra_vcs"});
+        for (const std::string& name : names) {
+          Aggregate agg;
+          for (const valid::TrialRow& row : result.rows) {
+            if (selector(row) == name) {
+              agg.Absorb(row);
+            }
+          }
+          table.AddRow({name, std::to_string(agg.trials),
+                        std::to_string(agg.positive),
+                        std::to_string(agg.detonated),
+                        std::to_string(agg.infeasible),
+                        std::to_string(agg.mismatch),
+                        std::to_string(agg.escalated),
+                        std::to_string(agg.extra_vcs)});
+          json.AddRow(JsonObject()
+                          .Set("section", key + "_summary")
+                          .Set(key, name)
+                          .Set("trials", agg.trials)
+                          .Set("positive", agg.positive)
+                          .Set("detonated", agg.detonated)
+                          .Set("infeasible", agg.infeasible)
+                          .Set("mismatch", agg.mismatch)
+                          .Set("escalated", agg.escalated)
+                          .Set("extra_vcs", agg.extra_vcs));
+        }
+        table.Print(std::cout);
+        std::cout << "\n";
+      };
+  std::vector<std::string> arm_names, source_names;
+  for (const valid::TrialArm arm : opts.campaign.arms) {
+    arm_names.push_back(valid::ArmName(arm));
   }
-  table.Print(std::cout);
-  std::cout << "\n" << result.rows.size() << " trials in "
+  for (const valid::DesignSource source : opts.campaign.sources) {
+    source_names.push_back(valid::SourceName(source));
+  }
+  print_group("arm", arm_names, [](const valid::TrialRow& row) {
+    return valid::ArmName(row.arm);
+  });
+  print_group("source", source_names, [](const valid::TrialRow& row) {
+    return valid::SourceName(row.source);
+  });
+  std::cout << result.rows.size() << " trials in "
             << FormatDouble(campaign_ms, 1) << " ms: " << result.positives
             << " positive, " << result.detonations << " detonated, "
-            << result.mismatches << " mismatches; digest " << std::hex
-            << result.digest << std::dec << "\n";
+            << result.infeasibles << " infeasible, " << result.mismatches
+            << " mismatches; digest " << std::hex << result.digest
+            << std::dec << "\n";
 
   // Replayable repro dumps for every mismatch.
   for (const auto& [trial, repro_json] : result.repros) {
@@ -335,8 +394,10 @@ int main(int argc, char** argv) {
                   .Set("trials", result.rows.size())
                   .Set("base_seed", opts.campaign.base_seed)
                   .Set("arms", opts.campaign.arms.size())
+                  .Set("sources", opts.campaign.sources.size())
                   .Set("positives", result.positives)
                   .Set("detonations", result.detonations)
+                  .Set("infeasibles", result.infeasibles)
                   .Set("mismatches", result.mismatches)
                   .Set("digest", result.digest)
                   .Set("deterministic", deterministic)

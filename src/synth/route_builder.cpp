@@ -105,4 +105,93 @@ RouteSet BuildRoutes(const TopologyGraph& topology,
   return routes;
 }
 
+void ValidateNextHopTable(const TopologyGraph& topology,
+                          const NextHopTable& table) {
+  const std::size_t n = topology.SwitchCount();
+  Require(table.size() == n, "NextHopTable: row count != switch count");
+  for (std::size_t s = 0; s < n; ++s) {
+    Require(table[s].size() == n,
+            "NextHopTable: row " + std::to_string(s) +
+                " column count != switch count");
+    for (std::size_t d = 0; d < n; ++d) {
+      const LinkId l = table[s][d];
+      if (!l.valid()) {
+        continue;
+      }
+      Require(s != d, "NextHopTable: self entry on switch " +
+                          std::to_string(s));
+      Require(topology.IsValidLink(l),
+              "NextHopTable: invalid link on (" + std::to_string(s) + "," +
+                  std::to_string(d) + ")");
+      Require(topology.LinkAt(l).src == SwitchId(s),
+              "NextHopTable: link on (" + std::to_string(s) + "," +
+                  std::to_string(d) + ") does not leave switch " +
+                  std::to_string(s));
+    }
+  }
+  // Every filled pair must reach its destination without revisiting a
+  // switch; a walk longer than n switches is a loop by pigeonhole.
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d || !table[s][d].valid()) {
+        continue;
+      }
+      std::size_t cur = s;
+      std::size_t hops = 0;
+      while (cur != d) {
+        const LinkId l = table[cur][d];
+        Require(l.valid(), "NextHopTable: hole at (" + std::to_string(cur) +
+                               "," + std::to_string(d) +
+                               ") on the walk from " + std::to_string(s));
+        cur = topology.LinkAt(l).dst.value();
+        Require(++hops <= n, "NextHopTable: routing loop from " +
+                                 std::to_string(s) + " to " +
+                                 std::to_string(d));
+      }
+    }
+  }
+}
+
+RouteSet BuildTableRoutes(const TopologyGraph& topology,
+                          const CommunicationGraph& traffic,
+                          const std::vector<SwitchId>& attachment,
+                          const NextHopTable& table) {
+  Require(attachment.size() == traffic.CoreCount(),
+          "BuildTableRoutes: attachment incomplete");
+  Require(table.size() == topology.SwitchCount(),
+          "BuildTableRoutes: table row count != switch count");
+  RouteSet routes(traffic.FlowCount());
+  const std::size_t n = topology.SwitchCount();
+  for (std::size_t fi = 0; fi < traffic.FlowCount(); ++fi) {
+    const FlowId f(fi);
+    const Flow& flow = traffic.FlowAt(f);
+    const SwitchId src = attachment[flow.src.value()];
+    const SwitchId dst = attachment[flow.dst.value()];
+    Route route;
+    SwitchId cur = src;
+    while (cur != dst) {
+      Require(table[cur.value()].size() == n,
+              "BuildTableRoutes: malformed table row " +
+                  std::to_string(cur.value()));
+      const LinkId l = table[cur.value()][dst.value()];
+      Require(l.valid(), "BuildTableRoutes: no next hop from switch " +
+                             std::to_string(cur.value()) + " to switch " +
+                             std::to_string(dst.value()) + " for flow " +
+                             std::to_string(fi));
+      Require(topology.IsValidLink(l) &&
+                  topology.LinkAt(l).src == cur,
+              "BuildTableRoutes: table entry does not leave switch " +
+                  std::to_string(cur.value()));
+      const auto channel = topology.FindChannel(l, 0);
+      Require(channel.has_value(), "BuildTableRoutes: link missing VC 0");
+      route.push_back(*channel);
+      cur = topology.LinkAt(l).dst;
+      Require(route.size() <= n, "BuildTableRoutes: routing loop for flow " +
+                                     std::to_string(fi));
+    }
+    routes.SetRoute(f, std::move(route));
+  }
+  return routes;
+}
+
 }  // namespace nocdr

@@ -34,4 +34,32 @@ RouteSet BuildRoutes(const TopologyGraph& topology,
                      const std::vector<SwitchId>& attachment,
                      const RouteBuildOptions& options = {});
 
+/// Deterministic distributed routing table: table[s][d] is the outgoing
+/// link switch \p s forwards toward destination switch \p d (invalid
+/// LinkId on the diagonal and for unreachable pairs). This is the form
+/// classical structured-topology policies take — dimension-ordered XY on
+/// a mesh/torus, up-then-down on a tree — where every hop is a pure
+/// function of (current switch, destination), unlike the per-flow
+/// congestion-aware paths of BuildRoutes.
+using NextHopTable = std::vector<std::vector<LinkId>>;
+
+/// Checks that \p table is shaped switch_count x switch_count, that every
+/// entry is either invalid or a link actually leaving its row's switch,
+/// and that following the table from any switch reaches any destination
+/// with a filled row without revisiting a switch (i.e. the table is
+/// complete and loop-free for every reachable pair). Throws
+/// InvalidModelError on the first violation.
+void ValidateNextHopTable(const TopologyGraph& topology,
+                          const NextHopTable& table);
+
+/// Expands \p table into one static route per flow of \p traffic: walks
+/// table[s][dst] hop by hop from each flow's source switch, always on
+/// VC 0 (the implicit channel; extra VCs are the deadlock methods' job).
+/// Throws InvalidModelError when the table has no entry for a hop some
+/// flow needs or a walk exceeds the switch count (a routing loop).
+RouteSet BuildTableRoutes(const TopologyGraph& topology,
+                          const CommunicationGraph& traffic,
+                          const std::vector<SwitchId>& attachment,
+                          const NextHopTable& table);
+
 }  // namespace nocdr

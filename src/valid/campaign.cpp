@@ -6,7 +6,9 @@
 #include "cdg/cdg.h"
 #include "deadlock/removal.h"
 #include "deadlock/resource_ordering.h"
+#include "deadlock/updown.h"
 #include "deadlock/verify.h"
+#include "gen/generators.h"
 #include "runner/parallel_map.h"
 #include "runner/sweep.h"
 #include "soc/synthetic.h"
@@ -87,7 +89,8 @@ void FillSimFields(TrialRow& row, const SimResult& sim,
 
 std::vector<TrialArm> AllArms() {
   return {TrialArm::kUntreated, TrialArm::kRemovalIncremental,
-          TrialArm::kRemovalRebuild, TrialArm::kResourceOrdering};
+          TrialArm::kRemovalRebuild, TrialArm::kResourceOrdering,
+          TrialArm::kUpDown};
 }
 
 std::string ArmName(TrialArm arm) {
@@ -100,6 +103,8 @@ std::string ArmName(TrialArm arm) {
       return "removal_rebuild";
     case TrialArm::kResourceOrdering:
       return "resource_ordering";
+    case TrialArm::kUpDown:
+      return "updown";
   }
   return "unknown";
 }
@@ -108,6 +113,36 @@ std::optional<TrialArm> ParseArm(const std::string& name) {
   for (const TrialArm arm : AllArms()) {
     if (ArmName(arm) == name) {
       return arm;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<DesignSource> AllSources() {
+  return {DesignSource::kSynthesized, DesignSource::kMesh,
+          DesignSource::kTorus, DesignSource::kRing, DesignSource::kFatTree};
+}
+
+std::string SourceName(DesignSource source) {
+  switch (source) {
+    case DesignSource::kSynthesized:
+      return "synthesized";
+    case DesignSource::kMesh:
+      return "mesh";
+    case DesignSource::kTorus:
+      return "torus";
+    case DesignSource::kRing:
+      return "ring";
+    case DesignSource::kFatTree:
+      return "fat_tree";
+  }
+  return "unknown";
+}
+
+std::optional<DesignSource> ParseSource(const std::string& name) {
+  for (const DesignSource source : AllSources()) {
+    if (SourceName(source) == name) {
+      return source;
     }
   }
   return std::nullopt;
@@ -138,6 +173,56 @@ NocDesign GenerateTrialDesign(std::uint64_t seed,
   const std::size_t switches =
       std::max<std::size_t>(2, (spec.cores + per_switch - 1) / per_switch);
   return SynthesizeDesign(soc.traffic, soc.name, switches);
+}
+
+NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
+                              const DesignEnvelope& envelope) {
+  if (source == DesignSource::kSynthesized) {
+    return GenerateTrialDesign(seed, envelope);
+  }
+  Require(envelope.min_cores <= envelope.max_cores,
+          "GenerateTrialDesign: inverted envelope range");
+  Rng rng(seed);
+  const auto draw = [&rng](std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(rng.NextBelow(hi - lo + 1));
+  };
+  gen::GeneratorSpec spec;
+  // Draw the traffic pattern first so the shape draws below stay aligned
+  // across sources that share a seed.
+  const auto patterns = gen::AllPatterns();
+  spec.pattern = patterns[draw(0, patterns.size() - 1)];
+  spec.uniform_fanout = draw(2, 4);
+  spec.cores_per_switch = draw(1, 2);
+  switch (source) {
+    case DesignSource::kMesh:
+      spec.family = gen::TopologyFamily::kMesh2D;
+      spec.width = draw(4, 8);
+      spec.height = draw(3, 7);
+      break;
+    case DesignSource::kTorus:
+      spec.family = gen::TopologyFamily::kTorus2D;
+      spec.width = draw(4, 8);
+      spec.height = draw(3, 7);
+      break;
+    case DesignSource::kRing:
+      spec.family = gen::TopologyFamily::kRing;
+      spec.ring_nodes = draw(envelope.min_cores, envelope.max_cores);
+      spec.cores_per_switch = 1;
+      break;
+    case DesignSource::kFatTree: {
+      spec.family = gen::TopologyFamily::kFatTree;
+      spec.tree_arity = draw(2, 4);
+      // Levels sized so the leaf count lands near the envelope's core
+      // range: 2^4=16, 3^3=27, 4^2=16 leaves.
+      spec.tree_levels = 7 - spec.tree_arity;
+      spec.tree_uplinks = draw(1, 2);
+      break;
+    }
+    case DesignSource::kSynthesized:
+      break;  // handled above
+  }
+  spec.seed = rng.Next();
+  return gen::GenerateStandardDesign(spec);
 }
 
 TrialRow ClassifyTrial(const NocDesign& design, TrialArm arm,
@@ -171,7 +256,17 @@ TrialRow ClassifyTrial(const NocDesign& design, TrialArm arm,
       case TrialArm::kResourceOrdering:
         ApplyResourceOrdering(treated);
         break;
+      case TrialArm::kUpDown:
+        ApplyUpDownRouting(treated);
+        break;
     }
+  } catch (const TurnProhibitionInfeasibleError&) {
+    // Not a contract breach: up*/down* genuinely cannot serve designs
+    // whose bidirectional sub-topology is disconnected (the limitation
+    // the paper's Section 1 critique is about). Record and move on.
+    row.channels_after = row.channels_before;
+    row.verdict = TrialVerdict::kArmInfeasible;
+    return row;
   } catch (const std::exception& e) {
     row.mismatch_kind = MismatchKind::kTreatmentThrew;
     row.mismatch = "treatment threw: " + std::string(e.what());
@@ -364,18 +459,22 @@ TrialOutcome RunTrial(const NocDesign& design, TrialArm arm,
 
 CampaignResult RunCampaign(const CampaignConfig& config) {
   Require(!config.arms.empty(), "RunCampaign: at least one arm required");
+  Require(!config.sources.empty(),
+          "RunCampaign: at least one design source required");
   CampaignResult result;
   std::vector<TrialOutcome> outcomes =
       runner::ParallelMapIndexed<TrialOutcome>(
           config.trials, config.threads, [&](std::size_t i) {
             const std::size_t design_index = i / config.arms.size();
             const TrialArm arm = config.arms[i % config.arms.size()];
+            const DesignSource source =
+                config.sources[design_index % config.sources.size()];
             const std::uint64_t seed =
                 runner::JobSeed(config.base_seed, design_index);
             TrialOutcome out;
             try {
               const NocDesign design =
-                  GenerateTrialDesign(seed, config.envelope);
+                  GenerateTrialDesign(source, seed, config.envelope);
               out = RunTrial(design, arm, config.workload, seed,
                              config.shrink, i);
             } catch (const std::exception& e) {
@@ -386,6 +485,7 @@ CampaignResult RunCampaign(const CampaignConfig& config) {
               out.row.verdict = TrialVerdict::kMismatch;
             }
             out.row.trial_index = i;
+            out.row.source = source;
             return out;
           });
   result.rows.reserve(outcomes.size());
@@ -396,6 +496,9 @@ CampaignResult RunCampaign(const CampaignConfig& config) {
         break;
       case TrialVerdict::kNegativeDetonated:
         ++result.detonations;
+        break;
+      case TrialVerdict::kArmInfeasible:
+        ++result.infeasibles;
         break;
       case TrialVerdict::kMismatch:
         ++result.mismatches;
@@ -417,6 +520,7 @@ std::uint64_t Digest(const std::vector<TrialRow>& rows) {
     DigestField(h, row.trial_index);
     DigestField(h, row.design_seed);
     DigestField(h, row.design);
+    DigestField(h, SourceName(row.source));
     DigestField(h, ArmName(row.arm));
     DigestField(h, row.switches);
     DigestField(h, row.links);
@@ -445,6 +549,7 @@ JsonObject RowToJson(const TrialRow& row) {
   json.Set("trial", row.trial_index)
       .Set("design_seed", row.design_seed)
       .Set("design", row.design)
+      .Set("source", SourceName(row.source))
       .Set("arm", ArmName(row.arm))
       .Set("switches", row.switches)
       .Set("links", row.links)
@@ -459,11 +564,14 @@ JsonObject RowToJson(const TrialRow& row) {
       .Set("packets_offered", row.packets_offered)
       .Set("packets_delivered", row.packets_delivered)
       .Set("escalations", row.escalations)
-      .Set("verdict", row.verdict == TrialVerdict::kPositiveDelivered
-                          ? "positive_delivered"
-                          : row.verdict == TrialVerdict::kNegativeDetonated
-                                ? "negative_detonated"
-                                : "mismatch")
+      .Set("verdict",
+           row.verdict == TrialVerdict::kPositiveDelivered
+               ? "positive_delivered"
+               : row.verdict == TrialVerdict::kNegativeDetonated
+                     ? "negative_detonated"
+                     : row.verdict == TrialVerdict::kArmInfeasible
+                           ? "arm_infeasible"
+                           : "mismatch")
       .Set("run_ms", row.run_ms);
   if (!row.mismatch.empty()) {
     json.Set("mismatch", row.mismatch)

@@ -43,9 +43,10 @@ enum class TrialArm {
   kRemovalIncremental,  // RemoveDeadlocks, incremental CDG engine
   kRemovalRebuild,      // RemoveDeadlocks, rebuild-per-iteration engine
   kResourceOrdering,    // Dally/Towles distance classes
+  kUpDown,              // up*/down* turn prohibition (may be infeasible)
 };
 
-/// All four arms, in the fixed campaign order.
+/// All arms, in the fixed campaign order.
 std::vector<TrialArm> AllArms();
 
 /// Stable lowercase identifier ("untreated", "removal_incremental", ...).
@@ -53,6 +54,30 @@ std::string ArmName(TrialArm arm);
 
 /// Inverse of ArmName; nullopt for unknown names.
 std::optional<TrialArm> ParseArm(const std::string& name);
+
+/// Where a trial's design comes from: the application-specific
+/// synthesizer (src/soc/synthetic + src/synth) or one of the standard
+/// topology families (src/gen) with their classical routing policies.
+/// Generated families give the contract design distributions the
+/// removal heuristic was never tuned for — notably the deliberately
+/// cyclic torus/ring DOR inputs.
+enum class DesignSource {
+  kSynthesized,
+  kMesh,
+  kTorus,
+  kRing,
+  kFatTree,
+};
+
+/// All sources, in the fixed campaign order.
+std::vector<DesignSource> AllSources();
+
+/// Stable lowercase identifier ("synthesized", "mesh", "torus", "ring",
+/// "fat_tree").
+std::string SourceName(DesignSource source);
+
+/// Inverse of SourceName; nullopt for unknown names.
+std::optional<DesignSource> ParseSource(const std::string& name);
 
 /// Size envelope the per-trial design generator draws from.
 struct DesignEnvelope {
@@ -71,6 +96,13 @@ struct DesignEnvelope {
 /// Deterministic design for one trial: draws a SyntheticSocSpec from the
 /// envelope under \p seed and synthesizes it onto an irregular topology.
 NocDesign GenerateTrialDesign(std::uint64_t seed,
+                              const DesignEnvelope& envelope);
+
+/// Deterministic design for one (source, seed) pair: kSynthesized
+/// delegates to the overload above; the generated families draw a
+/// GeneratorSpec (size, traffic pattern, fanout, cores per switch) from
+/// \p seed sized to roughly match the envelope's core range.
+NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
                               const DesignEnvelope& envelope);
 
 /// Workload pressure applied by the simulator cross-check. The defaults
@@ -100,6 +132,10 @@ enum class TrialVerdict {
   /// Negative certificate; the simulator reproduced a circular wait
   /// lying on a CDG cycle.
   kNegativeDetonated,
+  /// The arm cannot serve this design at all (up*/down* on a design
+  /// whose bidirectional sub-topology is disconnected — the structural
+  /// limitation the paper critiques). Recorded, not a contract breach.
+  kArmInfeasible,
   /// The contract broke somewhere; TrialRow::mismatch says where.
   kMismatch,
 };
@@ -127,6 +163,7 @@ struct TrialRow {
   std::size_t trial_index = 0;
   std::uint64_t design_seed = 0;
   std::string design;
+  DesignSource source = DesignSource::kSynthesized;
   TrialArm arm = TrialArm::kUntreated;
 
   // Design shape.
@@ -183,14 +220,17 @@ TrialOutcome RunTrial(const NocDesign& design, TrialArm arm,
                       bool shrink, std::size_t trial_index = 0);
 
 struct CampaignConfig {
-  /// Total trial rows. Trial i synthesizes design i / arms.size() — the
-  /// design seed is shared by consecutive trials so every arm sees the
-  /// same design — and applies arm arms[i % arms.size()].
+  /// Total trial rows. Trial i generates design d = i / arms.size() from
+  /// source sources[d % sources.size()] — the design seed is shared by
+  /// consecutive trials so every arm sees the same design — and applies
+  /// arm arms[i % arms.size()].
   std::size_t trials = 400;
   std::uint64_t base_seed = 1;
   /// Worker threads; 0 means hardware concurrency.
   std::size_t threads = 0;
   std::vector<TrialArm> arms = AllArms();
+  /// Design sources interleaved across the campaign.
+  std::vector<DesignSource> sources = AllSources();
   bool shrink = true;
   DesignEnvelope envelope;
   WorkloadConfig workload;
@@ -203,6 +243,7 @@ struct CampaignResult {
   std::size_t mismatches = 0;
   std::size_t positives = 0;
   std::size_t detonations = 0;
+  std::size_t infeasibles = 0;
   /// FNV-1a over the deterministic row fields; byte-identical for any
   /// thread count.
   std::uint64_t digest = 0;

@@ -31,6 +31,15 @@ TEST(ArmTest, NamesRoundTrip) {
   EXPECT_FALSE(valid::ParseArm("no_such_arm").has_value());
 }
 
+TEST(SourceTest, NamesRoundTrip) {
+  for (const valid::DesignSource source : valid::AllSources()) {
+    const auto parsed = valid::ParseSource(valid::SourceName(source));
+    ASSERT_TRUE(parsed.has_value()) << valid::SourceName(source);
+    EXPECT_EQ(*parsed, source);
+  }
+  EXPECT_FALSE(valid::ParseSource("no_such_source").has_value());
+}
+
 TEST(GenerateTrialDesignTest, DeterministicAndValid) {
   const valid::DesignEnvelope envelope;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
@@ -45,14 +54,51 @@ TEST(GenerateTrialDesignTest, DeterministicAndValid) {
   }
 }
 
+TEST(GenerateTrialDesignTest, EverySourceIsDeterministicAndValid) {
+  const valid::DesignEnvelope envelope;
+  for (const valid::DesignSource source : valid::AllSources()) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const NocDesign a = valid::GenerateTrialDesign(source, seed, envelope);
+      const NocDesign b = valid::GenerateTrialDesign(source, seed, envelope);
+      a.Validate();
+      EXPECT_EQ(a.name, b.name) << valid::SourceName(source);
+      EXPECT_EQ(a.topology.ChannelCount(), b.topology.ChannelCount());
+      EXPECT_EQ(a.traffic.FlowCount(), b.traffic.FlowCount());
+    }
+  }
+}
+
 TEST(CampaignTest, SmallCampaignHasNoMismatches) {
   const auto result = valid::RunCampaign(SmallCampaign());
   ASSERT_EQ(result.rows.size(), 24u);
   EXPECT_EQ(result.mismatches, 0u);
-  EXPECT_EQ(result.positives + result.detonations, 24u);
+  EXPECT_EQ(result.positives + result.detonations + result.infeasibles,
+            24u);
   EXPECT_TRUE(result.repros.empty());
   for (const auto& row : result.rows) {
     EXPECT_TRUE(row.mismatch.empty()) << row.mismatch;
+    // Only up*/down* may sit a design out, and only for lack of
+    // bidirectional connectivity.
+    if (row.verdict == valid::TrialVerdict::kArmInfeasible) {
+      EXPECT_EQ(row.arm, valid::TrialArm::kUpDown);
+    }
+  }
+}
+
+TEST(CampaignTest, EveryGeneratedSourceRunsCleanly) {
+  for (const valid::DesignSource source :
+       {valid::DesignSource::kMesh, valid::DesignSource::kTorus,
+        valid::DesignSource::kRing, valid::DesignSource::kFatTree}) {
+    valid::CampaignConfig cfg = SmallCampaign();
+    cfg.trials = 10;
+    cfg.sources = {source};
+    const auto result = valid::RunCampaign(cfg);
+    EXPECT_EQ(result.mismatches, 0u) << valid::SourceName(source);
+    for (const auto& row : result.rows) {
+      EXPECT_EQ(row.source, source);
+      EXPECT_TRUE(row.mismatch.empty())
+          << valid::SourceName(source) << ": " << row.mismatch;
+    }
   }
 }
 
@@ -71,15 +117,29 @@ TEST(CampaignTest, DigestIdenticalAcrossThreadCounts) {
 
 TEST(CampaignTest, ArmsShareTheSameDesign) {
   const auto result = valid::RunCampaign(SmallCampaign());
-  // Trials come in groups of four (one per arm) over one design.
-  for (std::size_t g = 0; g + 3 < result.rows.size(); g += 4) {
-    for (std::size_t k = 1; k < 4; ++k) {
+  // Trials come in groups (one per arm) over one design.
+  const std::size_t arms = valid::AllArms().size();
+  for (std::size_t g = 0; g + arms - 1 < result.rows.size(); g += arms) {
+    for (std::size_t k = 1; k < arms; ++k) {
       EXPECT_EQ(result.rows[g].design_seed, result.rows[g + k].design_seed);
       EXPECT_EQ(result.rows[g].design, result.rows[g + k].design);
+      EXPECT_EQ(result.rows[g].source, result.rows[g + k].source);
       EXPECT_EQ(result.rows[g].channels_before,
                 result.rows[g + k].channels_before);
     }
   }
+}
+
+TEST(CampaignTest, UpDownInfeasibleOnUnidirectionalRing) {
+  // The test-helper ring has no reverse links, so up*/down* cannot serve
+  // it; that is an kArmInfeasible verdict, not a contract mismatch.
+  const NocDesign ring = testing::MakeRingDesign(6, 2);
+  const valid::WorkloadConfig workload;
+  const valid::TrialRow row =
+      valid::ClassifyTrial(ring, valid::TrialArm::kUpDown, workload, 9);
+  EXPECT_EQ(row.verdict, valid::TrialVerdict::kArmInfeasible);
+  EXPECT_TRUE(row.mismatch.empty());
+  EXPECT_EQ(row.channels_after, row.channels_before);
 }
 
 TEST(CampaignTest, UntreatedRingDetonatesOnCdgCycle) {
