@@ -36,13 +36,18 @@ std::optional<CdgCycle> DirtyCycleFinder::Pick(CyclePolicy policy) {
   return cycle_[*best];
 }
 
+void DirtyCycleFinder::NoteExternalEdges(std::span<const ChannelId> vertices) {
+  tainted_.insert(tainted_.end(), vertices.begin(), vertices.end());
+}
+
 void DirtyCycleFinder::Refresh() {
   const std::size_t n = graph_.VertexCount();
   cycle_.resize(n);
   valid_.resize(n, 0);
 
   const std::uint32_t scc_count = ComputeSccs();
-  // Component size and whether a fresh (post-previous-pick) vertex joined.
+  // Component size and whether a fresh (post-previous-pick) or
+  // externally-tainted vertex joined.
   std::vector<std::uint32_t> scc_size(scc_count, 0);
   std::vector<char> scc_fresh(scc_count, 0);
   for (std::size_t v = 0; v < n; ++v) {
@@ -51,6 +56,15 @@ void DirtyCycleFinder::Refresh() {
       scc_fresh[scc_[v]] = 1;
     }
   }
+  // Consume the taints that exist; not-yet-created vertices stay pending
+  // so the scan they force is not lost.
+  std::erase_if(tainted_, [&](ChannelId t) {
+    if (t.valid() && t.value() < n) {
+      scc_fresh[scc_[t.value()]] = 1;
+      return true;
+    }
+    return !t.valid();
+  });
 
   for (std::size_t v = 0; v < n; ++v) {
     const ChannelId c{v};

@@ -22,6 +22,14 @@
 //     fresh vertex, and any cycle through v lies entirely inside v's
 //     strongly connected component — so it can only appear when a fresh
 //     vertex joined that component.
+// Fault-driven reconfiguration (src/fault) breaks the "added edges touch
+// fresh vertices" half of that argument: re-routed flows add edges
+// between vertices that both existed at the previous pick. Callers
+// report such mutations through NoteExternalEdges, which taints the
+// named vertices; at the next pick every SCC containing a tainted vertex
+// is re-scanned exactly like one containing a fresh vertex. External
+// *removals* need no notice — removals can never resurrect or shorten a
+// cycle, so the cached-cycle reuse rule above still applies verbatim.
 // Each pick therefore runs one Tarjan SCC pass (O(V+E)) and re-BFSes
 // only: vertices of SCCs containing fresh vertices, vertices whose cached
 // cycle lost an edge, and vertices never scanned before. Vertices in
@@ -32,6 +40,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cdg/cdg.h"
@@ -50,6 +59,15 @@ class DirtyCycleFinder {
   /// The cycle PickCycle(graph, policy) would return on the current
   /// graph, at amortized dirty-vertex cost. Returns nullopt when acyclic.
   std::optional<CdgCycle> Pick(CyclePolicy policy);
+
+  /// Reports that edges incident to \p vertices were *added* by a
+  /// mutation outside the ApplyBreak discipline (fault-driven
+  /// re-routing adds edges between pre-existing vertices). At the next
+  /// Pick, every SCC containing one of these vertices is re-scanned as
+  /// if a fresh vertex had joined it, restoring the cache-exactness
+  /// argument in the header comment. Out-of-range ids are permitted and
+  /// simply force a scan once the vertex exists.
+  void NoteExternalEdges(std::span<const ChannelId> vertices);
 
   /// Work counters, for perf reporting and the scalability bench.
   struct Stats {
@@ -77,6 +95,8 @@ class DirtyCycleFinder {
   const ChannelDependencyGraph& graph_;
   /// Vertices that existed at the previous Pick; anything beyond is fresh.
   std::size_t known_vertices_ = 0;
+  /// Vertices named by NoteExternalEdges since the previous Pick.
+  std::vector<ChannelId> tainted_;
   std::vector<std::optional<CdgCycle>> cycle_;  // per vertex
   std::vector<char> valid_;                     // per vertex
   std::vector<std::uint32_t> scc_;              // per vertex, scratch

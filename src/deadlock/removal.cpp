@@ -103,11 +103,14 @@ RemovalReport RemoveDeadlocksRebuild(NocDesign& design,
   return report;
 }
 
-RemovalReport RemoveDeadlocksIncremental(NocDesign& design,
-                                         const RemovalOptions& options) {
+}  // namespace
+
+RemovalReport RemoveDeadlocksOnCdg(NocDesign& design,
+                                   ChannelDependencyGraph& cdg,
+                                   DirtyCycleFinder& finder,
+                                   const RemovalOptions& options) {
   RemovalReport report;
-  ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
-  DirtyCycleFinder finder(cdg);
+  const std::size_t bfs_before = finder.stats().bfs_runs;
   std::optional<CdgCycle> cycle = finder.Pick(options.cycle_policy);
   report.initially_deadlock_free = !cycle.has_value();
 
@@ -121,18 +124,18 @@ RemovalReport RemoveDeadlocksIncremental(NocDesign& design,
     }
     cycle = finder.Pick(options.cycle_policy);
   }
-  report.cycle_bfs_runs = finder.stats().bfs_runs;
+  report.cycle_bfs_runs = finder.stats().bfs_runs - bfs_before;
   return report;
 }
-
-}  // namespace
 
 RemovalReport RemoveDeadlocks(NocDesign& design,
                               const RemovalOptions& options) {
   if (options.engine == RemovalEngine::kRebuild) {
     return RemoveDeadlocksRebuild(design, options);
   }
-  return RemoveDeadlocksIncremental(design, options);
+  ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
+  DirtyCycleFinder finder(cdg);
+  return RemoveDeadlocksOnCdg(design, cdg, finder, options);
 }
 
 bool IsDeadlockFree(const NocDesign& design) {

@@ -96,6 +96,23 @@ struct RemovalReport {
 RemovalReport RemoveDeadlocks(NocDesign& design,
                               const RemovalOptions& options = {});
 
+class DirtyCycleFinder;
+
+/// The incremental-engine removal loop on a caller-maintained CDG and
+/// dirty-cycle finder instead of a freshly built pair. \p cdg must
+/// mirror design's routes exactly (and \p finder must serve \p cdg);
+/// every break is mirrored back via ApplyBreak, so on return the CDG is
+/// acyclic and still in sync with the design. This is the entry point
+/// the fault-reconfiguration pipeline (src/fault) uses to keep one CDG
+/// and one finder cache alive across fault bursts instead of paying a
+/// from-scratch Build per burst. options.engine is ignored — this *is*
+/// the incremental engine; report.cycle_bfs_runs counts only the BFS
+/// work of this call, not the finder's lifetime total.
+RemovalReport RemoveDeadlocksOnCdg(NocDesign& design,
+                                   ChannelDependencyGraph& cdg,
+                                   DirtyCycleFinder& finder,
+                                   const RemovalOptions& options = {});
+
 /// True iff the design's CDG is acyclic (Dally/Towles condition).
 bool IsDeadlockFree(const NocDesign& design);
 

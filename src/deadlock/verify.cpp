@@ -9,7 +9,14 @@
 namespace nocdr {
 
 DeadlockCertificate CertifyDeadlockFreedom(const NocDesign& design) {
-  const auto cdg = ChannelDependencyGraph::Build(design);
+  return CertifyFromCdg(design, ChannelDependencyGraph::Build(design));
+}
+
+DeadlockCertificate CertifyFromCdg(const NocDesign& design,
+                                   const ChannelDependencyGraph& cdg) {
+  Require(cdg.VertexCount() == design.topology.ChannelCount(),
+          "CertifyFromCdg: CDG vertex count does not match the design's "
+          "channel count (graph out of sync)");
   DeadlockCertificate cert;
 
   // Kahn's algorithm, keeping the emission order as the certificate.

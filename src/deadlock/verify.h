@@ -31,6 +31,18 @@ struct DeadlockCertificate {
 /// (deadlock-free) or a concrete dependency cycle (deadlock-prone).
 DeadlockCertificate CertifyDeadlockFreedom(const NocDesign& design);
 
+/// CertifyDeadlockFreedom computed from an already-maintained CDG
+/// instead of re-deriving one from the design — the fault pipeline's
+/// fast path: Kahn's algorithm is O(V+E), while a from-scratch Build
+/// pays a hash-map insert per route hop. The CDG representation is
+/// canonical, so the certificate is identical to the from-scratch one
+/// *provided* \p cdg is in sync with \p design (vertex count must match
+/// the design's channel count; Require-checked). Sign-off still rests
+/// on CheckCertificate, which re-validates the order against the routes
+/// directly and trusts no CDG at all.
+DeadlockCertificate CertifyFromCdg(const NocDesign& design,
+                                   const ChannelDependencyGraph& cdg);
+
 /// Re-validates a positive certificate against the design from scratch:
 /// the order must contain every channel exactly once and every
 /// consecutive channel pair of every route must step strictly forward in

@@ -445,7 +445,8 @@ std::string FamilyShapeName(const GeneratorSpec& spec) {
   return "unknown";
 }
 
-NocDesign GenerateStandardDesign(const GeneratorSpec& spec) {
+NocDesign GenerateStandardDesign(const GeneratorSpec& spec,
+                                 NextHopTable* table_out) {
   Require(spec.cores_per_switch >= 1,
           "generator: cores_per_switch must be >= 1");
   Require(spec.min_bandwidth > 0.0 &&
@@ -489,6 +490,9 @@ NocDesign GenerateStandardDesign(const GeneratorSpec& spec) {
 
   design.routes = BuildTableRoutes(topo.topology, design.traffic,
                                    design.attachment, topo.table);
+  if (table_out != nullptr) {
+    *table_out = std::move(topo.table);
+  }
   design.topology = std::move(topo.topology);
   design.Validate();
   return design;

@@ -140,7 +140,10 @@ std::string FamilyShapeName(const GeneratorSpec& spec);
 /// over the attachment points, the traffic pattern's flow set, and
 /// routes expanded from the next-hop table via BuildTableRoutes. The
 /// result satisfies Validate() and is named
-/// "<shape>_<pattern>[_c<cores_per_switch>]".
-NocDesign GenerateStandardDesign(const GeneratorSpec& spec);
+/// "<shape>_<pattern>[_c<cores_per_switch>]". When \p table_out is
+/// non-null it receives the family's next-hop table — the fault
+/// pipeline's table-driven detour policy needs it (fault/reconfigure).
+NocDesign GenerateStandardDesign(const GeneratorSpec& spec,
+                                 NextHopTable* table_out = nullptr);
 
 }  // namespace nocdr::gen

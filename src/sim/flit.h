@@ -26,6 +26,12 @@ struct Flit {
   bool is_tail = false;
   std::uint16_t hop = 0;      // how many channels already traversed
   std::uint64_t injected_at = 0;
+  /// Route generation the packet was injected under. 0 everywhere except
+  /// in transition simulations (sim/transition.h), where packets injected
+  /// before the reconfiguration follow the pre-fault routes (epoch 0) and
+  /// later ones the post-fault routes (epoch 1) — source routing binds a
+  /// packet's path at injection time.
+  std::uint8_t route_epoch = 0;
 };
 
 }  // namespace nocdr

@@ -5,11 +5,22 @@
 #include <optional>
 #include <queue>
 
+#include "sim/transition.h"
 #include "util/error.h"
 
 namespace nocdr {
 
 namespace {
+
+/// Internal description of a reconfiguration transition (see
+/// sim/transition.h). Null for plain SimulateWorkload runs, whose
+/// behavior must stay bit-identical.
+struct TransitionSpec {
+  const RouteSet* pre_routes = nullptr;
+  const std::vector<char>* dead_channels = nullptr;  // may be empty
+  std::uint64_t cycle = 0;
+  bool midflight = false;
+};
 
 /// Runtime state of one channel: its input buffer at the downstream
 /// switch and the wormhole ownership.
@@ -23,13 +34,19 @@ struct SourceState {
   std::uint32_t next_packet = 0;   // next schedule entry to inject
   std::uint16_t next_flit = 0;     // 0 = must inject the head
   std::uint64_t head_injected_at = 0;
+  /// Route epoch the in-progress packet's head was injected under; body
+  /// flits must inherit it so a worm straddling a mid-flight transition
+  /// stays on one route.
+  std::uint8_t packet_epoch = 0;
 };
 
 class Engine {
  public:
-  Engine(const NocDesign& design, const SimConfig& config)
+  Engine(const NocDesign& design, const SimConfig& config,
+         const TransitionSpec* transition = nullptr)
       : design_(design),
         config_(config),
+        transition_(transition),
         schedule_(design, config.traffic, config.max_cycles),
         vcs_(design.topology.ChannelCount()),
         sources_(design.traffic.FlowCount()) {
@@ -61,11 +78,15 @@ class Engine {
   SimResult Run() {
     std::uint64_t last_progress = 0;
     for (cycle_ = 0; cycle_ < config_.max_cycles; ++cycle_) {
+      if (transition_ != nullptr && !epoch_switched_) {
+        MaybeTransition();
+      }
       const bool moved = Step();
       if (moved) {
         last_progress = cycle_;
       }
-      if (result_.packets_delivered == result_.packets_offered &&
+      if (result_.packets_delivered + packets_dropped_ ==
+              result_.packets_offered &&
           AllSourcesDrained()) {
         ++cycle_;
         break;
@@ -134,6 +155,129 @@ class Engine {
       }
     }
     return true;
+  }
+
+  /// Route a flit is bound to: packets injected before the transition
+  /// follow the pre-fault routes, everything else the design's routes.
+  [[nodiscard]] const Route& RouteFor(const Flit& flit) const {
+    if (transition_ != nullptr && flit.route_epoch == 0) {
+      return transition_->pre_routes->RouteOf(flit.packet.flow);
+    }
+    return design_.routes.RouteOf(flit.packet.flow);
+  }
+
+  [[nodiscard]] bool NoSourceMidPacket() const {
+    for (const SourceState& src : sources_) {
+      if (src.next_flit != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Runs once per cycle from the transition cycle until the route
+  /// generations are swapped. Mid-flight: destroy the packets the fault
+  /// caught, swap immediately. Drain-and-restart: suspend new packets,
+  /// swap once the network is empty.
+  void MaybeTransition() {
+    if (cycle_ < transition_->cycle) {
+      return;
+    }
+    if (transition_->midflight) {
+      KillDeadPackets();
+      epoch_switched_ = true;
+      return;
+    }
+    inject_suspended_ = true;
+    if (!FlitsInFlight() && NoSourceMidPacket()) {
+      inject_suspended_ = false;
+      epoch_switched_ = true;
+    } else {
+      ++drain_cycles_;
+    }
+  }
+
+  /// Destroys every packet that occupies a dead channel or whose
+  /// remaining route needs one: flits vanish from the buffers, channel
+  /// ownerships are released, mid-worm sources skip the rest of the
+  /// packet. The survivors keep flowing on their pre-fault routes.
+  void KillDeadPackets() {
+    const std::vector<char>* dead = transition_->dead_channels;
+    if (dead == nullptr || dead->empty()) {
+      return;
+    }
+    // A flit in flight sits on channel route[hop], so scanning the route
+    // from `hop` covers both "on a dead channel" and "needs one later".
+    std::vector<PacketKey> doomed;
+    for (const VcState& vc : vcs_) {
+      for (const Flit& flit : vc.fifo) {
+        const Route& route = RouteFor(flit);
+        for (std::size_t h = flit.hop; h < route.size(); ++h) {
+          if ((*dead)[route[h].value()]) {
+            doomed.push_back(flit.packet);
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t f = 0; f < sources_.size(); ++f) {
+      const SourceState& src = sources_[f];
+      if (src.next_flit == 0) {
+        continue;  // not mid-worm; future packets take the new routes
+      }
+      const Route& route = transition_->pre_routes->RouteOf(FlowId(f));
+      for (const ChannelId c : route) {
+        if ((*dead)[c.value()]) {
+          doomed.push_back(PacketKey{FlowId(f), src.next_packet});
+          break;
+        }
+      }
+    }
+    if (doomed.empty()) {
+      return;
+    }
+    const auto less = [](const PacketKey& a, const PacketKey& b) {
+      if (a.flow != b.flow) {
+        return a.flow < b.flow;
+      }
+      return a.sequence < b.sequence;
+    };
+    std::sort(doomed.begin(), doomed.end(), less);
+    doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+    const auto is_doomed = [&](const PacketKey& key) {
+      return std::binary_search(doomed.begin(), doomed.end(), key, less);
+    };
+    for (VcState& vc : vcs_) {
+      const std::size_t before = vc.fifo.size();
+      std::erase_if(vc.fifo, [&](const Flit& flit) {
+        return is_doomed(flit.packet);
+      });
+      flits_in_network_ -= before - vc.fifo.size();
+      if (vc.owner.has_value() && is_doomed(*vc.owner)) {
+        vc.owner.reset();
+      }
+    }
+    for (std::size_t f = 0; f < sources_.size(); ++f) {
+      SourceState& src = sources_[f];
+      if (src.next_flit != 0 &&
+          is_doomed(PacketKey{FlowId(f), src.next_packet})) {
+        src.next_flit = 0;
+        ++src.next_packet;
+        NotePacketInjected(FlowId(f));
+      }
+    }
+    packets_dropped_ += doomed.size();
+    if (Worklist()) {
+      // One-off full rebuild of the active-channel list; cheaper than
+      // threading the purge through the touched_ bookkeeping.
+      active_.clear();
+      for (std::size_t c = 0; c < vcs_.size(); ++c) {
+        channel_active_[c] = vcs_[c].fifo.empty() ? 0 : 1;
+        if (channel_active_[c]) {
+          active_.push_back(static_cast<std::uint32_t>(c));
+        }
+      }
+    }
   }
 
   /// One simulated cycle; returns true when at least one flit moved.
@@ -247,7 +391,7 @@ class Engine {
       return false;
     }
     const Flit& flit = vc.fifo.front();
-    const Route& route = design_.routes.RouteOf(flit.packet.flow);
+    const Route& route = RouteFor(flit);
     if (flit.hop + 1u == route.size()) {
       // Last channel: eject into the destination NI (ideal sink).
       ejects_.push_back(c);
@@ -272,7 +416,18 @@ class Engine {
     if (schedule_.ReadyAt(f, src.next_packet) > cycle_) {
       return false;
     }
-    const Route& route = design_.routes.RouteOf(f);
+    // A drain suspends new packets only; a worm already under way keeps
+    // injecting so it can leave the network whole.
+    if (inject_suspended_ && src.next_flit == 0) {
+      return false;
+    }
+    if (src.next_flit == 0) {
+      src.packet_epoch =
+          (transition_ != nullptr && epoch_switched_) ? 1 : 0;
+    }
+    const Route& route = src.packet_epoch == 0 && transition_ != nullptr
+                             ? transition_->pre_routes->RouteOf(f)
+                             : design_.routes.RouteOf(f);
     if (route.empty()) {
       // Core-local flow: delivered through the switch's local crossbar
       // turnaround without using any network channel.
@@ -297,6 +452,7 @@ class Engine {
     flit.is_tail = src.next_flit + 1u == config_.traffic.packet_length;
     flit.hop = 0;
     flit.injected_at = flit.is_head ? cycle_ : src.head_injected_at;
+    flit.route_epoch = src.packet_epoch;
     if (!ClaimTransfer(route.front(), flit)) {
       return false;
     }
@@ -425,7 +581,7 @@ class Engine {
       dst.fifo.push_back(flit);
     }
     for (const Flit& flit : injections_) {
-      const Route& route = design_.routes.RouteOf(flit.packet.flow);
+      const Route& route = RouteFor(flit);
       VcState& dst = vcs_[route.front().value()];
       if (flit.is_head) {
         dst.owner = flit.packet;
@@ -497,7 +653,7 @@ class Engine {
         return;
       }
       const Flit& flit = vc.fifo.front();
-      const Route& route = design_.routes.RouteOf(flit.packet.flow);
+      const Route& route = RouteFor(flit);
       if (flit.hop + 1u == route.size()) {
         return;  // ejection never blocks
       }
@@ -547,6 +703,7 @@ class Engine {
 
   const NocDesign& design_;
   SimConfig config_;
+  const TransitionSpec* transition_;
   TrafficSchedule schedule_;
   std::vector<VcState> vcs_;
   std::vector<SourceState> sources_;
@@ -587,6 +744,18 @@ class Engine {
   std::uint64_t flits_in_network_ = 0;
   std::size_t drained_sources_ = 0;
   bool disarm_dirty_ = false;
+
+  // Transition-run state; inert for plain SimulateWorkload runs.
+  bool epoch_switched_ = false;
+  bool inject_suspended_ = false;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t drain_cycles_ = 0;
+
+ public:
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return packets_dropped_;
+  }
+  [[nodiscard]] std::uint64_t drain_cycles() const { return drain_cycles_; }
 };
 
 }  // namespace
@@ -598,6 +767,34 @@ SimResult SimulateWorkload(const NocDesign& design, const SimConfig& config) {
           "SimulateWorkload: buffers need at least one slot");
   Engine engine(design, config);
   return engine.Run();
+}
+
+TransitionResult SimulateTransition(const NocDesign& post_design,
+                                    const RouteSet& pre_routes,
+                                    const std::vector<char>& dead_channels,
+                                    const TransitionConfig& config) {
+  Require(config.sim.traffic.packet_length >= 1,
+          "SimulateTransition: packets need at least one flit");
+  Require(config.sim.buffer_depth >= 1,
+          "SimulateTransition: buffers need at least one slot");
+  Require(pre_routes.FlowCount() == post_design.traffic.FlowCount(),
+          "SimulateTransition: pre-fault routes not sized for the design");
+  Require(dead_channels.empty() ||
+              dead_channels.size() == post_design.topology.ChannelCount(),
+          "SimulateTransition: dead-channel mask not sized for the design");
+
+  TransitionSpec spec;
+  spec.pre_routes = &pre_routes;
+  spec.dead_channels = &dead_channels;
+  spec.cycle = config.transition_cycle;
+  spec.midflight = config.policy == TransitionPolicy::kMidFlight;
+
+  Engine engine(post_design, config.sim, &spec);
+  TransitionResult result;
+  result.sim = engine.Run();
+  result.packets_dropped = engine.packets_dropped();
+  result.drain_cycles = engine.drain_cycles();
+  return result;
 }
 
 }  // namespace nocdr

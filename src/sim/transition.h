@@ -1,0 +1,83 @@
+// Simulating a network *through* a fault-and-reconfigure event.
+//
+// A certificate only speaks about a fixed configuration; what happens
+// between two certified configurations is a protocol choice. Two
+// disciplines are modeled, both on one timeline within a single
+// cycle-accurate run:
+//
+//   * drain-and-restart — the planned-maintenance discipline: at the
+//     transition cycle injection stops, in-flight packets finish on the
+//     pre-fault routes (the links only come down once the network is
+//     empty), then injection resumes on the post-fault routes. No
+//     packet is ever lost; the price is the drain stall, reported in
+//     drain_cycles.
+//   * mid-flight — the unplanned-fault discipline: the failure strikes
+//     at the transition cycle. Every in-flight packet that occupies a
+//     dead channel, or whose remaining pre-fault route would need one,
+//     is destroyed (packets_dropped) and its buffers and channel claims
+//     are released; surviving packets finish on their pre-fault routes
+//     while new injections immediately use the post-fault routes. The
+//     mix of old-route survivors and new-route traffic is *not* covered
+//     by either configuration's certificate — transient circular waits
+//     across the two route generations are a real phenomenon this
+//     simulator exists to expose, reported like any other deadlock.
+//
+// The run happens on the post-fault design (its topology is a superset
+// of the pre-fault one: channels are append-only, and failed links keep
+// their — dead — channels), with the pre-fault routes supplied
+// separately. Packets bind their route generation at injection, which
+// is exactly what source routing does in hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/design.h"
+#include "sim/simulator.h"
+
+namespace nocdr {
+
+enum class TransitionPolicy {
+  kDrainAndRestart,
+  kMidFlight,
+};
+
+struct TransitionConfig {
+  /// Engine, buffers, workload and safety caps, as for SimulateWorkload.
+  SimConfig sim;
+  /// Cycle at which the fault strikes (mid-flight) or the drain begins
+  /// (drain-and-restart).
+  std::uint64_t transition_cycle = 64;
+  TransitionPolicy policy = TransitionPolicy::kDrainAndRestart;
+};
+
+struct TransitionResult {
+  /// Aggregate statistics over the whole run (both epochs).
+  SimResult sim;
+  /// Mid-flight only: packets destroyed by the fault. Never counted as
+  /// delivered; a clean mid-flight run has
+  /// packets_delivered + packets_dropped == packets_offered.
+  std::uint64_t packets_dropped = 0;
+  /// Drain-and-restart only: cycles injection was suspended waiting for
+  /// the network to empty.
+  std::uint64_t drain_cycles = 0;
+
+  [[nodiscard]] bool AllAccountedFor() const {
+    return sim.packets_delivered + packets_dropped == sim.packets_offered;
+  }
+};
+
+/// Runs \p config.sim's workload on \p post_design across the
+/// transition. \p pre_routes are the routes in force before the
+/// transition cycle (they must be structurally valid against
+/// post_design's topology — guaranteed when the post design evolved
+/// from the pre design, since channels are append-only).
+/// \p dead_channels marks the channels the fault killed, indexed by
+/// ChannelId over post_design's topology (fault::DeadChannelMask);
+/// it may be empty for a fault-free reconfiguration.
+TransitionResult SimulateTransition(const NocDesign& post_design,
+                                    const RouteSet& pre_routes,
+                                    const std::vector<char>& dead_channels,
+                                    const TransitionConfig& config);
+
+}  // namespace nocdr

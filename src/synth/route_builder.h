@@ -10,6 +10,8 @@
 // handling methods.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "noc/design.h"
@@ -61,5 +63,51 @@ RouteSet BuildTableRoutes(const TopologyGraph& topology,
                           const CommunicationGraph& traffic,
                           const std::vector<SwitchId>& attachment,
                           const NextHopTable& table);
+
+// ------------------------------------------------------------------------
+// Fault-driven re-routing (src/fault). Failed links and switches are
+// boolean masks indexed by LinkId / SwitchId; an empty mask means nothing
+// has failed. A link is unusable when its own entry is set or either of
+// its endpoint switches has failed.
+
+/// Expands table[src][dst] hop by hop into a VC-0 route, like
+/// BuildTableRoutes does for whole flows. Returns nullopt instead of
+/// throwing when the table has a hole on the walk or the walk exceeds
+/// the switch count — the caller (the fault detour policy) falls back to
+/// rip-up-and-reroute for exactly those pairs.
+std::optional<Route> WalkTableRoute(const TopologyGraph& topology,
+                                    const NextHopTable& table, SwitchId src,
+                                    SwitchId dst);
+
+/// Table-driven detour repair: re-points every next-hop entry whose walk
+/// no longer survives the failure masks. Per destination, sources whose
+/// current walk traverses a failed link or switch (or a hole left by an
+/// earlier patch) are re-aimed along a shortest path over the surviving
+/// links (backward BFS from the destination, lowest link id wins ties);
+/// intact entries are left untouched, so unaffected traffic keeps its
+/// routes — the "detour" character of table-based fault recovery.
+/// Entries from or to failed switches are invalidated. Patched tables
+/// stay loop-free: a patched prefix strictly descends the surviving-
+/// distance to the destination and hands over to an intact suffix.
+/// Returns the number of previously-routable (src, dst) pairs the
+/// failures disconnected (their entries become invalid).
+std::size_t PatchNextHopTable(const TopologyGraph& topology,
+                              NextHopTable& table,
+                              const std::vector<char>& failed_links,
+                              const std::vector<char>& failed_switches);
+
+/// Rip-up-and-reroute fallback: recomputes the routes of \p flows over
+/// the surviving topology with the same congestion-aware Dijkstra as
+/// BuildRoutes. The listed flows' bandwidth is ripped out of the
+/// congestion picture first, then they are re-routed heaviest-first
+/// (stable by flow id) against the bandwidth committed by every other
+/// flow, accumulating their own as they land. New routes use VC 0 of
+/// each surviving link; extra VCs remain the deadlock methods' job.
+/// Throws InvalidModelError when some flow's endpoints are disconnected
+/// by the failures — callers decide feasibility first (src/fault).
+void RerouteFlows(NocDesign& design, const std::vector<FlowId>& flows,
+                  const std::vector<char>& failed_links,
+                  const std::vector<char>& failed_switches,
+                  const RouteBuildOptions& options = {});
 
 }  // namespace nocdr

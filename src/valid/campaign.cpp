@@ -177,6 +177,15 @@ NocDesign GenerateTrialDesign(std::uint64_t seed,
 
 NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
                               const DesignEnvelope& envelope) {
+  return GenerateTrialDesign(source, seed, envelope, nullptr);
+}
+
+NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
+                              const DesignEnvelope& envelope,
+                              NextHopTable* table_out) {
+  if (table_out != nullptr) {
+    table_out->clear();
+  }
   if (source == DesignSource::kSynthesized) {
     return GenerateTrialDesign(seed, envelope);
   }
@@ -222,7 +231,7 @@ NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
       break;  // handled above
   }
   spec.seed = rng.Next();
-  return gen::GenerateStandardDesign(spec);
+  return gen::GenerateStandardDesign(spec, table_out);
 }
 
 TrialRow ClassifyTrial(const NocDesign& design, TrialArm arm,

@@ -33,6 +33,7 @@
 
 #include "noc/design.h"
 #include "sim/simulator.h"
+#include "synth/route_builder.h"
 #include "util/json.h"
 
 namespace nocdr::valid {
@@ -104,6 +105,15 @@ NocDesign GenerateTrialDesign(std::uint64_t seed,
 /// \p seed sized to roughly match the envelope's core range.
 NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
                               const DesignEnvelope& envelope);
+
+/// As above, but additionally hands out the next-hop routing table of a
+/// generated (table-routed) family design — the fault-reconfiguration
+/// campaign feeds it to the table-driven detour policy. For
+/// kSynthesized (congestion-routed, no table) \p table_out comes back
+/// empty and detours fall back to rip-up-and-reroute.
+NocDesign GenerateTrialDesign(DesignSource source, std::uint64_t seed,
+                              const DesignEnvelope& envelope,
+                              NextHopTable* table_out);
 
 /// Workload pressure applied by the simulator cross-check. The defaults
 /// are aggressive (shallow buffers, worms longer than routes, all flows

@@ -74,6 +74,80 @@ TEST(CdgIncrementalTest, SameDependenciesDetectsDifferences) {
 }
 
 // ------------------------------------------------------------------------
+// Remove/re-add churn: the fault-reconfiguration pipeline drives
+// RemoveEdges/AddEdges far outside the break discipline (arbitrary flow
+// subsets, arbitrary re-add order, repeated rounds). A churned-then-
+// restored graph must be bit-identical to a fresh Build — the canonical
+// representation may not remember history.
+
+void RunChurnProperty(const NocDesign& design, std::uint64_t seed) {
+  auto cdg = ChannelDependencyGraph::Build(design);
+  const auto reference = ChannelDependencyGraph::Build(design);
+  Rng rng(seed);
+  const std::size_t flows = design.traffic.FlowCount();
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<FlowId> victims;
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (rng.NextBool(0.4)) {
+        victims.push_back(FlowId(f));
+      }
+    }
+    for (const FlowId f : victims) {
+      cdg.RemoveEdges(design.routes.RouteOf(f), f);
+    }
+    rng.Shuffle(victims);  // restore in a different order
+    for (const FlowId f : victims) {
+      cdg.AddEdges(design.routes.RouteOf(f), f);
+    }
+    ASSERT_TRUE(cdg.SameDependencies(reference)) << "round " << round;
+    ASSERT_TRUE(reference.SameDependencies(cdg)) << "round " << round;
+  }
+
+  // Full strip: every flow out (the graph must go empty), then all back
+  // in reverse order.
+  for (std::size_t f = 0; f < flows; ++f) {
+    cdg.RemoveEdges(design.routes.RouteOf(FlowId(f)), FlowId(f));
+  }
+  ASSERT_EQ(cdg.EdgeCount(), 0u);
+  for (std::size_t f = flows; f-- > 0;) {
+    cdg.AddEdges(design.routes.RouteOf(FlowId(f)), FlowId(f));
+  }
+  ASSERT_TRUE(cdg.SameDependencies(reference));
+}
+
+TEST(CdgChurnTest, ChurnedGraphsMatchFreshBuildsAcrossCorpus) {
+  for (const auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    for (std::size_t switches : {10u, 14u, 18u}) {
+      SCOPED_TRACE(b.name + "@" + std::to_string(switches));
+      RunChurnProperty(SynthesizeDesign(b.traffic, b.name, switches),
+                       switches);
+    }
+  }
+}
+
+TEST(CdgChurnTest, ChurnedGraphsMatchOnTreatedDesigns) {
+  // Post-removal designs have multi-VC routes — the representation the
+  // fault pipeline actually churns.
+  for (const auto id : AllBenchmarkIds()) {
+    const auto b = MakeBenchmark(id);
+    NocDesign design = SynthesizeDesign(b.traffic, b.name, 14);
+    RemoveDeadlocks(design);
+    SCOPED_TRACE(b.name);
+    RunChurnProperty(design, 99);
+  }
+}
+
+TEST(CdgChurnTest, ChurnedGraphsMatchOnRingsAndRandomDesigns) {
+  RunChurnProperty(testing::MakeRingDesign(12, 5), 1);
+  for (std::uint64_t seed = 51; seed <= 58; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunChurnProperty(testing::MakeRandomDesign(seed, 10, 14, 30), seed);
+  }
+}
+
+// ------------------------------------------------------------------------
 // The property at the heart of the incremental engine: after every break,
 // (a) the mutated CDG equals a from-scratch rebuild, and (b) the dirty
 // cycle finder picks exactly what a full scan picks.

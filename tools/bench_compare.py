@@ -29,6 +29,12 @@ Rows are keyed by their string-valued fields (section, design, arm,
 family, ...), which the benches emit deterministically. A baseline row
 with no fresh counterpart is a regression (a bench silently dropped
 coverage); extra fresh rows are reported but pass (new coverage).
+Likewise asymmetric: a metric present in the baseline but missing from
+the fresh row is a regression, while a metric that only exists in the
+fresh output (a bench just grew a column) is reported as an
+informational note — new measurements must not hard-fail the gate
+before their baseline is refreshed. Fresh BENCH files without any
+baseline counterpart get the same informational treatment.
 
 Exit codes: 0 clean, 1 regression found, 2 usage/IO error.
 """
@@ -165,6 +171,7 @@ class Comparison:
     def compare_bench(self, bench, baseline_path, fresh_path):
         baseline = index_rows(load_rows(baseline_path), baseline_path)
         fresh = index_rows(load_rows(fresh_path), fresh_path)
+        new_metrics = set()
         for key, base_row in baseline.items():
             fresh_row = fresh.get(key)
             if fresh_row is None:
@@ -183,6 +190,23 @@ class Comparison:
                 self.compare_metric(
                     bench, key, metric, base_value, fresh_row[metric]
                 )
+            # Metrics only the fresh row has are informational: a bench
+            # that grew a column must not hard-fail the gate before the
+            # baseline is refreshed.
+            for metric, value in fresh_row.items():
+                if (
+                    metric in IGNORED_KEYS
+                    or isinstance(value, str)
+                    or metric in base_row
+                ):
+                    continue
+                new_metrics.add(metric)
+        if new_metrics:
+            names = ", ".join(sorted(new_metrics))
+            self.notes.append(
+                f"{bench}: new metric(s) not in the baseline: {names} "
+                "(informational; refresh the baseline to gate them)"
+            )
         extra = len(fresh) - sum(1 for key in baseline if key in fresh)
         if extra > 0:
             self.notes.append(
@@ -283,6 +307,17 @@ def main(argv):
             continue
         compared.append(bench)
         comparison.compare_bench(bench, baseline_path, fresh_path)
+
+    # Fresh BENCH files with no baseline at all: a brand-new bench.
+    # Informational — it starts gating once a baseline is committed.
+    if args.fresh_dir.is_dir():
+        baseline_names = {path.name for path in baselines}
+        for fresh_path in sorted(args.fresh_dir.glob("BENCH_*.json")):
+            if fresh_path.name not in baseline_names:
+                comparison.notes.append(
+                    f"{fresh_path.stem}: no baseline for this bench "
+                    "(informational; commit one to gate it)"
+                )
 
     for note in comparison.notes:
         print(f"note: {note}")

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf-regression gate (tools/bench_compare.py).
+
+Run directly (python3 tools/test_bench_compare.py) or through CTest,
+which registers this file as the `bench_compare_unit` test.
+"""
+
+import argparse
+import importlib.util
+import json
+import tempfile
+import unittest
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", Path(__file__).resolve().parent / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def write_rows(path: Path, rows):
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+
+
+class GateHarness(unittest.TestCase):
+    """Creates a baseline/fresh directory pair per test."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baseline_dir = root / "baselines"
+        self.fresh_dir = root / "fresh"
+        self.baseline_dir.mkdir()
+        self.fresh_dir.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def run_gate(self, extra_args=()):
+        argv = [
+            "--baseline-dir",
+            str(self.baseline_dir),
+            "--fresh-dir",
+            str(self.fresh_dir),
+            *extra_args,
+        ]
+        return bench_compare.main(argv)
+
+    def row(self, **fields):
+        base = {"section": "point", "design": "d1"}
+        base.update(fields)
+        return base
+
+
+class CleanAndRegressedRuns(GateHarness):
+    def test_identical_rows_pass(self):
+        rows = [self.row(vcs=3, speedup=2.0, run_ms=12.0)]
+        write_rows(self.baseline_dir / "BENCH_a.json", rows)
+        write_rows(self.fresh_dir / "BENCH_a.json", rows)
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_integer_drift_fails(self):
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=3)])
+        write_rows(self.fresh_dir / "BENCH_a.json", [self.row(vcs=4)])
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_collapsed_speedup_fails_and_noise_passes(self):
+        write_rows(
+            self.baseline_dir / "BENCH_a.json", [self.row(speedup=4.0)]
+        )
+        write_rows(self.fresh_dir / "BENCH_a.json", [self.row(speedup=1.0)])
+        self.assertEqual(self.run_gate(), 1)
+        write_rows(self.fresh_dir / "BENCH_a.json", [self.row(speedup=2.0)])
+        self.assertEqual(self.run_gate(), 0)  # within the 40% floor
+
+    def test_missing_fresh_row_fails(self):
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(
+            self.fresh_dir / "BENCH_a.json",
+            [self.row(design="other", vcs=1)],
+        )
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_metric_missing_from_fresh_row_fails(self):
+        # Baseline-present, fresh-missing stays a hard failure: the
+        # asymmetric twin of the informational fresh-only case below.
+        write_rows(
+            self.baseline_dir / "BENCH_a.json", [self.row(vcs=1, iters=2)]
+        )
+        write_rows(self.fresh_dir / "BENCH_a.json", [self.row(vcs=1)])
+        self.assertEqual(self.run_gate(), 1)
+
+
+class FreshOnlyAdditionsAreInformational(GateHarness):
+    def test_new_metric_in_fresh_row_passes(self):
+        # A bench that grew a column must not hard-fail the gate.
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(
+            self.fresh_dir / "BENCH_a.json",
+            [self.row(vcs=1, brand_new_metric=7.5)],
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_new_metric_is_reported_as_note(self):
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(
+            self.fresh_dir / "BENCH_a.json",
+            [self.row(vcs=1, brand_new_metric=7.5)],
+        )
+        comparison = bench_compare.Comparison(
+            argparse.Namespace(
+                overrides={},
+                time_tolerance=None,
+                speedup_tolerance=0.6,
+                float_tolerance=0.25,
+            )
+        )
+        comparison.compare_bench(
+            "BENCH_a",
+            self.baseline_dir / "BENCH_a.json",
+            self.fresh_dir / "BENCH_a.json",
+        )
+        self.assertEqual(comparison.regressions, [])
+        self.assertTrue(
+            any("brand_new_metric" in note for note in comparison.notes),
+            comparison.notes,
+        )
+
+    def test_new_bench_file_passes_with_note(self):
+        # A fresh BENCH file with no baseline at all: informational.
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(self.fresh_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(
+            self.fresh_dir / "BENCH_newbench.json", [self.row(metric=1)]
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_new_fresh_rows_pass(self):
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(
+            self.fresh_dir / "BENCH_a.json",
+            [self.row(vcs=1), self.row(design="extra", vcs=9)],
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+
+class ToleranceClasses(GateHarness):
+    def test_wall_clock_ignored_by_default(self):
+        write_rows(
+            self.baseline_dir / "BENCH_a.json", [self.row(run_ms=10.0)]
+        )
+        write_rows(
+            self.fresh_dir / "BENCH_a.json", [self.row(run_ms=9000.0)]
+        )
+        self.assertEqual(self.run_gate(), 0)
+        self.assertEqual(self.run_gate(["--time-tolerance", "0.5"]), 1)
+
+    def test_per_metric_override(self):
+        write_rows(
+            self.baseline_dir / "BENCH_a.json", [self.row(latency=10.0)]
+        )
+        write_rows(
+            self.fresh_dir / "BENCH_a.json", [self.row(latency=14.0)]
+        )
+        self.assertEqual(self.run_gate(), 1)  # 40% > default 25%
+        self.assertEqual(self.run_gate(["--tolerance", "latency=0.5"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
