@@ -8,7 +8,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +31,134 @@ inline double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Registration-based command-line parsing for the bench harnesses.
+///
+/// Every binary in this directory used to hand-roll the same argv loop
+/// (next_value / next_number lambdas, the same out-of-range guards, a
+/// by-hand usage string). FlagParser centralizes that: register each
+/// flag with its target once, Parse() fills the targets, rejects junk
+/// values, and derives the usage line from the registrations. Errors
+/// print the usage and exit 2, matching the historical behaviour.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string binary) : binary_(std::move(binary)) {}
+
+  /// --flag N (non-negative integer). \p seen, when given, records
+  /// whether the flag appeared at all (for flags whose presence matters
+  /// beyond their value, e.g. --replay-seed).
+  void AddUint64(const std::string& flag, std::uint64_t* target,
+                 bool* seen = nullptr) {
+    specs_.push_back({flag, Kind::kUint64, target, seen});
+  }
+  void AddSize(const std::string& flag, std::size_t* target,
+               bool* seen = nullptr) {
+    specs_.push_back({flag, Kind::kSize, target, seen});
+  }
+
+  /// Valueless --flag; presence sets \p target to true.
+  void AddSwitch(const std::string& flag, bool* target) {
+    specs_.push_back({flag, Kind::kSwitch, target, nullptr});
+  }
+
+  /// --flag VALUE (verbatim string).
+  void AddString(const std::string& flag, std::string* target,
+                 bool* seen = nullptr) {
+    specs_.push_back({flag, Kind::kString, target, seen});
+  }
+
+  /// Prints the derived usage line plus \p error and exits 2. Public so
+  /// call sites can reuse it for their own post-parse validation (list
+  /// flags, flag interdependencies).
+  [[noreturn]] void Fail(const std::string& error) const {
+    std::cerr << binary_ << ": " << error << "\nflags:";
+    for (const Spec& spec : specs_) {
+      std::cerr << " " << spec.flag;
+      if (spec.kind == Kind::kString) {
+        std::cerr << " VALUE";
+      } else if (spec.kind != Kind::kSwitch) {
+        std::cerr << " N";
+      }
+    }
+    std::cerr << "\n";
+    std::exit(2);
+  }
+
+  void Parse(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const Spec* match = nullptr;
+      for (const Spec& spec : specs_) {
+        if (spec.flag == arg) {
+          match = &spec;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        Fail("unknown flag \"" + arg + "\"");
+      }
+      if (match->seen != nullptr) {
+        *match->seen = true;
+      }
+      if (match->kind == Kind::kSwitch) {
+        *static_cast<bool*>(match->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        Fail(arg + " needs a value");
+      }
+      const std::string value = argv[++i];
+      if (match->kind == Kind::kString) {
+        *static_cast<std::string*>(match->target) = value;
+        continue;
+      }
+      // Flag values are untrusted; std::stoull would call
+      // std::terminate on junk, so reject anything that is not a plain
+      // decimal number.
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        Fail(arg + " needs a non-negative integer, got \"" + value + "\"");
+      }
+      std::uint64_t number = 0;
+      try {
+        number = std::stoull(value);
+      } catch (const std::out_of_range&) {
+        Fail(arg + " value \"" + value + "\" is out of range");
+      }
+      if (match->kind == Kind::kUint64) {
+        *static_cast<std::uint64_t*>(match->target) = number;
+      } else {
+        *static_cast<std::size_t*>(match->target) =
+            static_cast<std::size_t>(number);
+      }
+    }
+  }
+
+ private:
+  enum class Kind { kUint64, kSize, kSwitch, kString };
+  struct Spec {
+    std::string flag;
+    Kind kind;
+    void* target;
+    bool* seen;
+  };
+
+  std::string binary_;
+  std::vector<Spec> specs_;
+};
+
+/// Splits "a,b,c" into {"a","b","c"}. Interior empty segments are kept
+/// ("a,,b" -> {"a","","b"}) so a mangled list fails the caller's name
+/// validation loudly instead of being silently narrowed.
+inline std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    out.push_back(item);
+  }
+  return out;
 }
 
 /// One arm of a removal-options ablation.

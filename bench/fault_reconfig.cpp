@@ -64,72 +64,44 @@ struct Options {
   bool replay = false;
 };
 
-[[noreturn]] void Usage(const std::string& error) {
-  std::cerr << "bench_fault_reconfig: " << error << "\n"
-            << "flags: --trials N --seed S --threads T --sources a,b,c "
-               "--emit-trials --no-perf --check-determinism "
-               "--replay-source NAME --replay-seed N\n";
-  std::exit(2);
-}
-
 Options ParseOptions(int argc, char** argv) {
   Options opts;
-  const auto next_value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) {
-      Usage(std::string(argv[i]) + " needs a value");
-    }
-    return argv[++i];
-  };
-  const auto next_number = [&](int& i) -> std::uint64_t {
-    const std::string flag = argv[i];
-    const std::string value = next_value(i);
-    if (value.empty() ||
-        value.find_first_not_of("0123456789") != std::string::npos) {
-      Usage(flag + " needs a non-negative integer, got \"" + value + "\"");
-    }
-    try {
-      return std::stoull(value);
-    } catch (const std::out_of_range&) {
-      Usage(flag + " value \"" + value + "\" is out of range");
-    }
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trials") {
-      opts.campaign.trials = next_number(i);
-    } else if (arg == "--seed") {
-      opts.campaign.base_seed = next_number(i);
-    } else if (arg == "--threads") {
-      opts.campaign.threads = next_number(i);
-    } else if (arg == "--sources") {
-      opts.campaign.sources.clear();
-      std::stringstream list(next_value(i));
-      std::string name;
-      while (std::getline(list, name, ',')) {
-        const auto source = valid::ParseSource(name);
-        if (!source.has_value()) {
-          Usage("unknown design source \"" + name + "\"");
-        }
-        opts.campaign.sources.push_back(*source);
+  bench::FlagParser flags("bench_fault_reconfig");
+  std::string sources_csv;
+  bool sources_given = false;
+  bool no_perf = false;
+  bool replay_source_given = false;
+  flags.AddSize("--trials", &opts.campaign.trials);
+  flags.AddUint64("--seed", &opts.campaign.base_seed);
+  flags.AddSize("--threads", &opts.campaign.threads);
+  flags.AddString("--sources", &sources_csv, &sources_given);
+  flags.AddSwitch("--emit-trials", &opts.emit_trials);
+  flags.AddSwitch("--no-perf", &no_perf);
+  flags.AddSwitch("--check-determinism", &opts.check_determinism);
+  flags.AddString("--replay-source", &opts.replay_source,
+                  &replay_source_given);
+  flags.AddUint64("--replay-seed", &opts.replay_seed,
+                  &opts.replay_seed_given);
+  flags.Parse(argc, argv);
+  opts.perf = !no_perf;
+  opts.replay = replay_source_given || opts.replay_seed_given;
+  if (opts.replay_seed_given && !replay_source_given) {
+    flags.Fail("--replay-seed needs --replay-source");
+  }
+  if (replay_source_given && !opts.replay_seed_given) {
+    flags.Fail("--replay-source needs --replay-seed");
+  }
+  if (sources_given) {
+    opts.campaign.sources.clear();
+    for (const std::string& name : bench::SplitCsv(sources_csv)) {
+      const auto source = valid::ParseSource(name);
+      if (!source.has_value()) {
+        flags.Fail("unknown design source \"" + name + "\"");
       }
-      if (opts.campaign.sources.empty()) {
-        Usage("--sources needs at least one source");
-      }
-    } else if (arg == "--emit-trials") {
-      opts.emit_trials = true;
-    } else if (arg == "--no-perf") {
-      opts.perf = false;
-    } else if (arg == "--check-determinism") {
-      opts.check_determinism = true;
-    } else if (arg == "--replay-source") {
-      opts.replay_source = next_value(i);
-      opts.replay = true;
-    } else if (arg == "--replay-seed") {
-      opts.replay_seed = next_number(i);
-      opts.replay_seed_given = true;
-      opts.replay = true;
-    } else {
-      Usage("unknown flag \"" + arg + "\"");
+      opts.campaign.sources.push_back(*source);
+    }
+    if (opts.campaign.sources.empty()) {
+      flags.Fail("--sources needs at least one source");
     }
   }
   return opts;
@@ -323,12 +295,6 @@ double RunPerfLadder(BenchJsonWriter& json, bool& mismatch) {
 int main(int argc, char** argv) {
   const Options opts = ParseOptions(argc, argv);
   if (opts.replay) {
-    if (opts.replay_source.empty()) {
-      Usage("--replay-seed needs --replay-source");
-    }
-    if (!opts.replay_seed_given) {
-      Usage("--replay-source needs --replay-seed");
-    }
     return Replay(opts);
   }
 

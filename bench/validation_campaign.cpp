@@ -57,83 +57,51 @@ struct Options {
   std::string replay_path;
 };
 
-[[noreturn]] void Usage(const std::string& error) {
-  std::cerr << "bench_validation_campaign: " << error << "\n"
-            << "flags: --trials N --seed S --threads T --arms a,b,c "
-               "--sources a,b,c --no-shrink --no-perf --check-determinism "
-               "--replay FILE\n";
-  std::exit(2);
-}
-
 Options ParseOptions(int argc, char** argv) {
   Options opts;
-  const auto next_value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) {
-      Usage(std::string(argv[i]) + " needs a value");
+  bench::FlagParser flags("bench_validation_campaign");
+  std::string arms_csv;
+  std::string sources_csv;
+  bool arms_given = false;
+  bool sources_given = false;
+  bool no_shrink = false;
+  bool no_perf = false;
+  flags.AddSize("--trials", &opts.campaign.trials);
+  flags.AddUint64("--seed", &opts.campaign.base_seed);
+  flags.AddSize("--threads", &opts.campaign.threads);
+  flags.AddString("--arms", &arms_csv, &arms_given);
+  flags.AddString("--sources", &sources_csv, &sources_given);
+  flags.AddSwitch("--no-shrink", &no_shrink);
+  flags.AddSwitch("--no-perf", &no_perf);
+  flags.AddSwitch("--check-determinism", &opts.check_determinism);
+  flags.AddString("--replay", &opts.replay_path);
+  flags.Parse(argc, argv);
+  opts.campaign.shrink = !no_shrink;
+  opts.perf = !no_perf;
+  if (arms_given) {
+    opts.campaign.arms.clear();
+    for (const std::string& name : bench::SplitCsv(arms_csv)) {
+      const auto arm = valid::ParseArm(name);
+      if (!arm.has_value()) {
+        flags.Fail("unknown arm \"" + name + "\"");
+      }
+      opts.campaign.arms.push_back(*arm);
     }
-    return argv[++i];
-  };
-  // Flag values are untrusted; std::stoull would call std::terminate on
-  // junk, so reject anything that is not a plain decimal number.
-  const auto next_number = [&](int& i) -> std::uint64_t {
-    const std::string flag = argv[i];
-    const std::string value = next_value(i);
-    if (value.empty() ||
-        value.find_first_not_of("0123456789") != std::string::npos) {
-      Usage(flag + " needs a non-negative integer, got \"" + value + "\"");
+    if (opts.campaign.arms.empty()) {
+      flags.Fail("--arms needs at least one arm");
     }
-    try {
-      return std::stoull(value);
-    } catch (const std::out_of_range&) {
-      Usage(flag + " value \"" + value + "\" is out of range");
+  }
+  if (sources_given) {
+    opts.campaign.sources.clear();
+    for (const std::string& name : bench::SplitCsv(sources_csv)) {
+      const auto source = valid::ParseSource(name);
+      if (!source.has_value()) {
+        flags.Fail("unknown design source \"" + name + "\"");
+      }
+      opts.campaign.sources.push_back(*source);
     }
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trials") {
-      opts.campaign.trials = next_number(i);
-    } else if (arg == "--seed") {
-      opts.campaign.base_seed = next_number(i);
-    } else if (arg == "--threads") {
-      opts.campaign.threads = next_number(i);
-    } else if (arg == "--arms") {
-      opts.campaign.arms.clear();
-      std::stringstream list(next_value(i));
-      std::string name;
-      while (std::getline(list, name, ',')) {
-        const auto arm = valid::ParseArm(name);
-        if (!arm.has_value()) {
-          Usage("unknown arm \"" + name + "\"");
-        }
-        opts.campaign.arms.push_back(*arm);
-      }
-      if (opts.campaign.arms.empty()) {
-        Usage("--arms needs at least one arm");
-      }
-    } else if (arg == "--sources") {
-      opts.campaign.sources.clear();
-      std::stringstream list(next_value(i));
-      std::string name;
-      while (std::getline(list, name, ',')) {
-        const auto source = valid::ParseSource(name);
-        if (!source.has_value()) {
-          Usage("unknown design source \"" + name + "\"");
-        }
-        opts.campaign.sources.push_back(*source);
-      }
-      if (opts.campaign.sources.empty()) {
-        Usage("--sources needs at least one source");
-      }
-    } else if (arg == "--no-shrink") {
-      opts.campaign.shrink = false;
-    } else if (arg == "--no-perf") {
-      opts.perf = false;
-    } else if (arg == "--check-determinism") {
-      opts.check_determinism = true;
-    } else if (arg == "--replay") {
-      opts.replay_path = next_value(i);
-    } else {
-      Usage("unknown flag \"" + arg + "\"");
+    if (opts.campaign.sources.empty()) {
+      flags.Fail("--sources needs at least one source");
     }
   }
   return opts;

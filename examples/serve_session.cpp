@@ -1,0 +1,81 @@
+// Certification service, in-process: one client session against
+// CertificationService showing the cache and coalescing semantics —
+// a computed miss, a content-addressed hit from a *different* request
+// representation, an untreated negative certificate, and the stats
+// counters a production deployment would scrape.
+//
+//   $ ./examples/serve_session
+//
+// The same requests work over stdin/stdout against the nocdr_serve
+// binary; see examples/serve_requests.jsonl and the README.
+#include <iostream>
+
+#include "gen/generators.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "util/canonical.h"
+#include "util/table.h"
+
+using namespace nocdr;
+
+namespace {
+
+void Show(const std::string& label, const serve::CertResponse& response) {
+  std::cout << label << ": status=" << serve::StatusName(response.status)
+            << " cache=" << serve::CacheOutcomeName(response.cache_outcome)
+            << " deadlock_free=" << (response.deadlock_free ? "yes" : "no")
+            << " vcs_added=" << response.vcs_added << " ("
+            << FormatDouble(response.service_ms, 3) << " ms)\n";
+}
+
+}  // namespace
+
+int main() {
+  serve::CertificationService service;
+
+  // A deliberately cyclic 6x6 torus under XY routing.
+  gen::GeneratorSpec spec;
+  spec.family = gen::TopologyFamily::kTorus2D;
+  spec.width = 6;
+  spec.height = 6;
+  spec.uniform_fanout = 4;
+  spec.seed = 7;
+
+  serve::CertRequest by_spec;
+  by_spec.id = "torus";
+  by_spec.kind = serve::RequestKind::kGeneratorSpec;
+  by_spec.generator = spec;
+
+  // 1. First contact: computed (RemoveDeadlocks + certificate).
+  Show("generator spec, first request ", service.Serve(by_spec));
+
+  // 2. Same problem, different representation: the rendered design text
+  //    content-addresses to the same canonical entry.
+  serve::CertRequest by_text;
+  by_text.id = "torus-as-text";
+  by_text.kind = serve::RequestKind::kDesignText;
+  by_text.design_text = DesignText(gen::GenerateStandardDesign(spec));
+  Show("same design as inline text    ", service.Serve(by_text));
+
+  // 3. Certify-only: the untreated torus is deadlock-prone, and the
+  //    negative certificate carries the CDG-cycle counterexample.
+  serve::CertRequest untreated = by_spec;
+  untreated.id = "torus-untreated";
+  untreated.treat = false;
+  const serve::CertResponse negative = service.Serve(untreated);
+  Show("untreated (certify as-is)     ", negative);
+  std::cout << "  negative certificate: " << negative.certificate_json
+            << "\n";
+
+  // 4. Exact repeat: the request-fingerprint fast path.
+  Show("exact repeat of request 1     ", service.Serve(by_spec));
+
+  const serve::ServiceStats stats = service.Stats();
+  std::cout << "\nservice stats: " << stats.requests << " requests, "
+            << stats.hits << " hits, " << stats.computations
+            << " computed, " << stats.coalesced << " coalesced, "
+            << stats.errors << " errors\n"
+            << "certificate cache: " << stats.cache.entries << " entries, "
+            << stats.cache.bytes << " bytes\n";
+  return 0;
+}

@@ -42,6 +42,11 @@ void ThreadPool::WaitIdle() {
   idle_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
+std::size_t ThreadPool::UnfinishedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unfinished_;
+}
+
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) {

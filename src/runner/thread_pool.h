@@ -35,6 +35,12 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void WaitIdle();
 
+  /// Tasks submitted but not yet finished (queued + running). A point
+  /// sample for backpressure decisions and stats reporting (the
+  /// certification service surfaces it as its pool backlog); the value
+  /// may be stale by the time the caller acts on it.
+  [[nodiscard]] std::size_t UnfinishedCount() const;
+
   /// Runs fn(0) ... fn(count - 1) across the pool and returns when all
   /// calls have finished. Indices are claimed dynamically, so callers must
   /// not depend on which worker runs which index — only on the per-index
@@ -47,7 +53,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_worker_;
   std::condition_variable idle_;
   std::size_t unfinished_ = 0;  // queued + currently running

@@ -1,0 +1,128 @@
+// In-flight request coalescing (single-flight) over the runner pool.
+//
+// When N clients ask for the same certification key concurrently, the
+// service must run the computation once and fan the result out — N
+// identical RemoveDeadlocks runs would burn N-1 computations to produce
+// bit-identical bytes. The coalescer keeps a registry of in-flight
+// computations keyed by canonical digest + key text; the first request
+// for a key becomes the *leader* (its computation is submitted to the
+// shared ThreadPool), later requests become *followers* sharing the
+// leader's future.
+//
+// Exactly-once contract: a request first probes the cache *under the
+// coalescer lock* (via the probe callback). The leader's task inserts
+// its result into the cache before the registry entry is retired — also
+// under the lock — so every request for a key either sees the cached
+// value, joins the in-flight leader, or becomes the first leader. With
+// an eviction-free cache this makes "one computation per distinct key"
+// exact, not probabilistic; tests/test_serve.cpp pins it across thread
+// counts.
+//
+// Backpressure: leaders admitted but not yet finished are bounded by
+// max_pending. A request whose key is not in flight and whose admission
+// would exceed the bound is rejected immediately (kRejected) — the
+// caller turns that into an "overloaded" response instead of queueing
+// unboundedly. Followers never count against the bound (they add no
+// work).
+//
+// Exceptions: a leader computation that throws poisons its future;
+// leader and followers all observe the same exception, and nothing is
+// cached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runner/thread_pool.h"
+#include "serve/cert_cache.h"
+
+namespace nocdr::serve {
+
+struct CoalescerConfig {
+  /// Worker threads of the compute pool; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Max leaders admitted (queued + running). 0 rejects everything.
+  std::size_t max_pending = 1024;
+};
+
+class RequestCoalescer {
+ public:
+  using Result = CachedCertification;
+  /// Cache probe, called with the registry lock held; return a value to
+  /// resolve the request without computing.
+  using ProbeFn = std::function<std::optional<Result>()>;
+  /// The computation plus its publication (cache insert); runs on the
+  /// pool, exactly once per admitted leader. May throw.
+  using ComputeFn = std::function<Result()>;
+  /// Builds the ComputeFn. Called synchronously inside Submit, after
+  /// the leader decision and outside the registry lock — so the
+  /// (potentially multi-KB) captures behind the computation are copied
+  /// exactly once per leader, never for resolved, follower or rejected
+  /// requests. The factory itself should capture by reference.
+  using MakeComputeFn = std::function<ComputeFn()>;
+
+  struct Outcome {
+    enum class Kind {
+      kResolved,  // probe produced the value; `resolved` is set
+      kLeader,    // this request started the computation; wait on future
+      kFollower,  // joined an in-flight computation; wait on future
+      kRejected,  // admission bound hit; no future
+    };
+    Kind kind = Kind::kRejected;
+    std::optional<Result> resolved;
+    std::shared_future<Result> future;
+  };
+
+  explicit RequestCoalescer(CoalescerConfig config = {});
+
+  RequestCoalescer(const RequestCoalescer&) = delete;
+  RequestCoalescer& operator=(const RequestCoalescer&) = delete;
+
+  /// Destructor waits for in-flight computations.
+  ~RequestCoalescer();
+
+  /// Resolves, joins, leads or rejects the request for
+  /// (\p digest, \p key_text). The computation \p make_compute builds
+  /// must insert its result into the cache the probe reads before
+  /// returning (the exactly-once argument above depends on that
+  /// ordering).
+  Outcome Submit(std::uint64_t digest, const std::string& key_text,
+                 const ProbeFn& probe, const MakeComputeFn& make_compute);
+
+  /// Leaders admitted but not yet finished.
+  [[nodiscard]] std::size_t Pending() const;
+
+  /// Tasks outstanding on the underlying pool (stats surface).
+  [[nodiscard]] std::size_t PoolBacklog() const {
+    return pool_.UnfinishedCount();
+  }
+
+  [[nodiscard]] std::size_t ThreadCount() const { return pool_.ThreadCount(); }
+
+ private:
+  struct InFlight {
+    std::string key_text;
+    std::shared_future<Result> future;
+  };
+
+  /// Removes the in-flight slot for (digest, key_text) and releases its
+  /// admission budget.
+  void Retire(std::uint64_t digest, const std::string& key_text);
+
+  CoalescerConfig config_;
+  mutable std::mutex mutex_;
+  /// digest -> in-flight computations with that digest (more than one
+  /// only under a digest collision, which text comparison untangles).
+  std::unordered_map<std::uint64_t, std::vector<InFlight>> inflight_;
+  std::size_t pending_ = 0;
+  ThreadPool pool_;  // last member: workers must die before the state above
+};
+
+}  // namespace nocdr::serve

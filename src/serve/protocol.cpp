@@ -1,0 +1,308 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace nocdr::serve {
+
+namespace {
+
+std::string CyclePolicyName(CyclePolicy policy) {
+  switch (policy) {
+    case CyclePolicy::kSmallestFirst:
+      return "smallest_first";
+    case CyclePolicy::kFirstFound:
+      return "first_found";
+    case CyclePolicy::kLargestFirst:
+      return "largest_first";
+  }
+  return "unknown";
+}
+
+CyclePolicy ParseCyclePolicy(const std::string& name) {
+  for (const CyclePolicy policy :
+       {CyclePolicy::kSmallestFirst, CyclePolicy::kFirstFound,
+        CyclePolicy::kLargestFirst}) {
+    if (CyclePolicyName(policy) == name) {
+      return policy;
+    }
+  }
+  throw InvalidModelError("ParseRequestLine: unknown cycle_policy \"" + name +
+                          "\"");
+}
+
+std::string DirectionName(DirectionPolicy policy) {
+  switch (policy) {
+    case DirectionPolicy::kBoth:
+      return "both";
+    case DirectionPolicy::kForwardOnly:
+      return "forward_only";
+    case DirectionPolicy::kBackwardOnly:
+      return "backward_only";
+  }
+  return "unknown";
+}
+
+DirectionPolicy ParseDirection(const std::string& name) {
+  for (const DirectionPolicy policy :
+       {DirectionPolicy::kBoth, DirectionPolicy::kForwardOnly,
+        DirectionPolicy::kBackwardOnly}) {
+    if (DirectionName(policy) == name) {
+      return policy;
+    }
+  }
+  throw InvalidModelError("ParseRequestLine: unknown direction \"" + name +
+                          "\"");
+}
+
+std::string EngineName(RemovalEngine engine) {
+  return engine == RemovalEngine::kIncremental ? "incremental" : "rebuild";
+}
+
+RemovalEngine ParseEngine(const std::string& name) {
+  if (name == "incremental") {
+    return RemovalEngine::kIncremental;
+  }
+  if (name == "rebuild") {
+    return RemovalEngine::kRebuild;
+  }
+  throw InvalidModelError("ParseRequestLine: unknown engine \"" + name +
+                          "\"");
+}
+
+std::string DuplicationName(DuplicationMode mode) {
+  return mode == DuplicationMode::kVirtualChannel ? "virtual_channel"
+                                                  : "physical_link";
+}
+
+DuplicationMode ParseDuplication(const std::string& name) {
+  if (name == "virtual_channel") {
+    return DuplicationMode::kVirtualChannel;
+  }
+  if (name == "physical_link") {
+    return DuplicationMode::kPhysicalLink;
+  }
+  throw InvalidModelError("ParseRequestLine: unknown duplication \"" + name +
+                          "\"");
+}
+
+RemovalOptions ParseOptions(const JsonValue& json) {
+  RemovalOptions options;
+  if (const JsonValue* value = json.Find("cycle_policy")) {
+    options.cycle_policy = ParseCyclePolicy(value->AsString());
+  }
+  if (const JsonValue* value = json.Find("direction")) {
+    options.direction_policy = ParseDirection(value->AsString());
+  }
+  if (const JsonValue* value = json.Find("engine")) {
+    options.engine = ParseEngine(value->AsString());
+  }
+  if (const JsonValue* value = json.Find("duplication")) {
+    options.duplication = ParseDuplication(value->AsString());
+  }
+  if (const JsonValue* value = json.Find("max_iterations")) {
+    options.max_iterations = value->AsUint();
+  }
+  return options;
+}
+
+gen::GeneratorSpec ParseGenerator(const JsonValue& json) {
+  gen::GeneratorSpec spec;
+  const std::string family_name = json.At("family").AsString();
+  const auto family = gen::ParseFamily(family_name);
+  Require(family.has_value(),
+          "ParseRequestLine: unknown generator family \"" + family_name +
+              "\"");
+  spec.family = *family;
+  const auto size_field = [&](const char* key, std::size_t* target) {
+    if (const JsonValue* value = json.Find(key)) {
+      *target = value->AsUint();
+    }
+  };
+  size_field("width", &spec.width);
+  size_field("height", &spec.height);
+  size_field("ring_nodes", &spec.ring_nodes);
+  size_field("tree_arity", &spec.tree_arity);
+  size_field("tree_levels", &spec.tree_levels);
+  size_field("tree_uplinks", &spec.tree_uplinks);
+  size_field("cores_per_switch", &spec.cores_per_switch);
+  size_field("uniform_fanout", &spec.uniform_fanout);
+  if (const JsonValue* value = json.Find("pattern")) {
+    const std::string pattern_name = value->AsString();
+    const auto pattern = gen::ParsePattern(pattern_name);
+    Require(pattern.has_value(),
+            "ParseRequestLine: unknown traffic pattern \"" + pattern_name +
+                "\"");
+    spec.pattern = *pattern;
+  }
+  if (const JsonValue* value = json.Find("hotspot_fraction")) {
+    spec.hotspot_fraction = value->AsDouble();
+  }
+  if (const JsonValue* value = json.Find("min_bandwidth")) {
+    spec.min_bandwidth = value->AsDouble();
+  }
+  if (const JsonValue* value = json.Find("max_bandwidth")) {
+    spec.max_bandwidth = value->AsDouble();
+  }
+  if (const JsonValue* value = json.Find("seed")) {
+    spec.seed = value->AsUint();
+  }
+  return spec;
+}
+
+JsonObject GeneratorToJson(const gen::GeneratorSpec& spec) {
+  JsonObject json;
+  json.Set("family", gen::FamilyName(spec.family))
+      .Set("width", spec.width)
+      .Set("height", spec.height)
+      .Set("ring_nodes", spec.ring_nodes)
+      .Set("tree_arity", spec.tree_arity)
+      .Set("tree_levels", spec.tree_levels)
+      .Set("tree_uplinks", spec.tree_uplinks)
+      .Set("cores_per_switch", spec.cores_per_switch)
+      .Set("pattern", gen::PatternName(spec.pattern))
+      .Set("uniform_fanout", spec.uniform_fanout)
+      .Set("hotspot_fraction", spec.hotspot_fraction)
+      .Set("min_bandwidth", spec.min_bandwidth)
+      .Set("max_bandwidth", spec.max_bandwidth)
+      .Set("seed", spec.seed);
+  return json;
+}
+
+}  // namespace
+
+CertRequest ParseRequestLine(const std::string& line) {
+  const JsonValue json = JsonValue::Parse(line);
+  CertRequest request;
+  if (const JsonValue* value = json.Find("id")) {
+    request.id = value->AsString();
+  }
+
+  int source_fields = 0;
+  if (const JsonValue* value = json.Find("design")) {
+    request.kind = RequestKind::kDesignText;
+    request.design_text = value->AsString();
+    ++source_fields;
+  }
+  if (const JsonValue* value = json.Find("generator")) {
+    request.kind = RequestKind::kGeneratorSpec;
+    request.generator = ParseGenerator(*value);
+    ++source_fields;
+  }
+  if (const JsonValue* value = json.Find("source")) {
+    request.kind = RequestKind::kSourceSeed;
+    const std::string source_name = value->AsString();
+    const auto source = valid::ParseSource(source_name);
+    Require(source.has_value(), "ParseRequestLine: unknown design source \"" +
+                                    source_name + "\"");
+    request.source = *source;
+    request.seed = json.At("seed").AsUint();
+    ++source_fields;
+  }
+  Require(source_fields == 1,
+          "ParseRequestLine: a request needs exactly one of \"design\", "
+          "\"generator\" or \"source\"");
+
+  if (const JsonValue* value = json.Find("options")) {
+    request.options = ParseOptions(*value);
+  }
+  if (const JsonValue* value = json.Find("treat")) {
+    request.treat = value->AsBool();
+  }
+  if (const JsonValue* value = json.Find("return_design")) {
+    request.return_design = value->AsBool();
+  }
+  return request;
+}
+
+std::string RequestToJsonLine(const CertRequest& request) {
+  JsonObject json;
+  if (!request.id.empty()) {
+    json.Set("id", request.id);
+  }
+  switch (request.kind) {
+    case RequestKind::kDesignText:
+      json.Set("design", request.design_text);
+      break;
+    case RequestKind::kGeneratorSpec:
+      json.SetRaw("generator", GeneratorToJson(request.generator).Dump());
+      break;
+    case RequestKind::kSourceSeed:
+      json.Set("source", valid::SourceName(request.source))
+          .Set("seed", request.seed);
+      break;
+  }
+  JsonObject options;
+  options.Set("cycle_policy", CyclePolicyName(request.options.cycle_policy))
+      .Set("direction", DirectionName(request.options.direction_policy))
+      .Set("engine", EngineName(request.options.engine))
+      .Set("duplication", DuplicationName(request.options.duplication))
+      .Set("max_iterations", request.options.max_iterations);
+  json.SetRaw("options", options.Dump());
+  json.Set("treat", request.treat).Set("return_design", request.return_design);
+  return json.Dump();
+}
+
+std::string StatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kOverloaded:
+      return "overloaded";
+    case ServeStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kComputed:
+      return "computed";
+    case CacheOutcome::kCoalesced:
+      return "coalesced";
+    case CacheOutcome::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+std::string ResponseToJsonLine(const CertResponse& response) {
+  JsonObject json;
+  if (!response.id.empty()) {
+    json.Set("id", response.id);
+  }
+  json.Set("status", StatusName(response.status));
+  if (response.status == ServeStatus::kError) {
+    json.Set("error", response.error);
+    json.Set("cache", CacheOutcomeName(response.cache_outcome))
+        .Set("service_ms", response.service_ms);
+    return json.Dump();
+  }
+  if (response.status == ServeStatus::kOverloaded) {
+    json.Set("cache", CacheOutcomeName(response.cache_outcome))
+        .Set("service_ms", response.service_ms);
+    return json.Dump();
+  }
+  json.Set("key", response.key)
+      .Set("deadlock_free", response.deadlock_free)
+      .Set("initially_deadlock_free", response.initially_deadlock_free)
+      .SetRaw("certificate", response.certificate_json)
+      .Set("channels_before", response.channels_before)
+      .Set("channels_after", response.channels_after)
+      .Set("vcs_added", response.vcs_added)
+      .Set("iterations", response.iterations)
+      .Set("flows_rerouted", response.flows_rerouted);
+  if (!response.treated_design_text.empty()) {
+    json.Set("design", response.treated_design_text);
+  }
+  json.Set("cache", CacheOutcomeName(response.cache_outcome))
+      .Set("service_ms", response.service_ms);
+  return json.Dump();
+}
+
+}  // namespace nocdr::serve

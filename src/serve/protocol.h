@@ -1,0 +1,58 @@
+// Line-delimited JSON protocol of the certification service.
+//
+// One request per line in, one response per line out — the transport
+// the nocdr_serve binary speaks on stdin/stdout and the format the
+// examples/ directory documents. A request names its design exactly one
+// of three ways:
+//
+//   {"id":"r1","design":"noc d\nswitch s0\n..."}          inline text
+//   {"id":"r2","generator":{"family":"torus","width":6,   generator spec
+//                           "height":6,"pattern":"uniform","seed":3}}
+//   {"id":"r3","source":"fat_tree","seed":42}             campaign draw
+//
+// plus optional fields:
+//
+//   "options": {"cycle_policy":"smallest_first|first_found|largest_first",
+//               "direction":"both|forward_only|backward_only",
+//               "engine":"incremental|rebuild",
+//               "duplication":"virtual_channel|physical_link",
+//               "max_iterations":N}
+//   "treat": true|false      (default true; false = certify as-is)
+//   "return_design": bool    (include the treated design text)
+//
+// The response carries the deterministic payload (certificate embedded
+// as a JSON object, VC-insertion counts, the content-addressed key)
+// plus cache/timing metadata:
+//
+//   {"id":"r1","status":"ok","key":123...,"deadlock_free":true,
+//    "certificate":{...},"vcs_added":2,...,"cache":"hit",
+//    "service_ms":0.04}
+//
+// status is "ok", "overloaded" (admission bound hit — retry later) or
+// "error" (malformed request / failed computation, with "error" text).
+#pragma once
+
+#include <string>
+
+#include "serve/service.h"
+
+namespace nocdr::serve {
+
+/// Parses one request line. Throws InvalidModelError on malformed JSON,
+/// unknown fields values, or a request that names zero or several
+/// design sources.
+CertRequest ParseRequestLine(const std::string& line);
+
+/// Renders \p request as one protocol line (inverse of
+/// ParseRequestLine up to field order and JSON escaping).
+std::string RequestToJsonLine(const CertRequest& request);
+
+/// Renders \p response as one protocol line.
+std::string ResponseToJsonLine(const CertResponse& response);
+
+/// Stable names used by the protocol ("ok" / "overloaded" / "error",
+/// "hit" / "computed" / "coalesced" / "none").
+std::string StatusName(ServeStatus status);
+std::string CacheOutcomeName(CacheOutcome outcome);
+
+}  // namespace nocdr::serve

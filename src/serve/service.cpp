@@ -1,0 +1,388 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "deadlock/verify.h"
+#include "noc/io.h"
+#include "runner/parallel_map.h"
+#include "util/canonical.h"
+#include "util/digest.h"
+#include "util/error.h"
+
+namespace nocdr::serve {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Encoding of every semantically relevant option (the fields
+/// CanonicalDesignDigest covers); appended to both cache key texts.
+std::string OptionsKeySuffix(const CertRequest& request) {
+  return "#options cycle=" +
+         std::to_string(static_cast<int>(request.options.cycle_policy)) +
+         " direction=" +
+         std::to_string(static_cast<int>(request.options.direction_policy)) +
+         " duplication=" +
+         std::to_string(static_cast<int>(request.options.duplication)) +
+         " max_iterations=" +
+         std::to_string(request.options.max_iterations) +
+         " treat=" + (request.treat ? "1" : "0");
+}
+
+/// Full collision-proof cache key: the canonical design text plus an
+/// encoding of every option the digest covers. Two keys are the same
+/// certification problem iff their texts compare equal, so a 64-bit
+/// digest collision can only ever degrade to a miss.
+std::string CacheKeyText(const std::string& canonical_text,
+                         const CertRequest& request) {
+  return canonical_text + OptionsKeySuffix(request);
+}
+
+/// Renders the exact bit pattern of \p value — injective, unlike any
+/// fixed-precision decimal rendering (two specs differing in the last
+/// ulp must not collide in the front memo: a fingerprint collision
+/// would serve the wrong certificate).
+std::string DoubleBits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return std::to_string(bits);
+}
+
+/// Exact-bytes identity of a request for the front memo: the raw design
+/// source fields plus the options suffix. Unlike the canonical key this
+/// is representation-sensitive by design — it exists so an exact repeat
+/// can skip canonicalization; distinct renderings of the same problem
+/// simply take the full path once each and converge on one canonical
+/// entry.
+std::string FingerprintText(const CertRequest& request) {
+  std::string fp;
+  switch (request.kind) {
+    case RequestKind::kDesignText:
+      fp = "design\x1f" + request.design_text;
+      break;
+    case RequestKind::kGeneratorSpec: {
+      const gen::GeneratorSpec& g = request.generator;
+      fp = "generator\x1f" + std::to_string(static_cast<int>(g.family)) +
+           " " + std::to_string(g.width) + " " + std::to_string(g.height) +
+           " " + std::to_string(g.ring_nodes) + " " +
+           std::to_string(g.tree_arity) + " " +
+           std::to_string(g.tree_levels) + " " +
+           std::to_string(g.tree_uplinks) + " " +
+           std::to_string(g.cores_per_switch) + " " +
+           std::to_string(static_cast<int>(g.pattern)) + " " +
+           std::to_string(g.uniform_fanout) + " " +
+           DoubleBits(g.hotspot_fraction) + " " +
+           DoubleBits(g.min_bandwidth) + " " + DoubleBits(g.max_bandwidth) +
+           " " + std::to_string(g.seed);
+      break;
+    }
+    case RequestKind::kSourceSeed:
+      fp = "source\x1f" + valid::SourceName(request.source) + " " +
+           std::to_string(request.seed);
+      break;
+  }
+  return fp + OptionsKeySuffix(request);
+}
+
+std::uint64_t FingerprintDigest(const std::string& fingerprint) {
+  std::uint64_t h = kFnvOffsetBasis;
+  DigestField(h, fingerprint);
+  return h;
+}
+
+void FillPayload(CertResponse& response, const CachedCertification& value,
+                 const CertRequest& request) {
+  response.status = ServeStatus::kOk;
+  response.deadlock_free = value.deadlock_free;
+  response.initially_deadlock_free = value.initially_deadlock_free;
+  response.certificate_json = value.certificate_json;
+  if (request.return_design) {
+    response.treated_design_text = value.treated_design_text;
+  }
+  response.channels_before = value.channels_before;
+  response.channels_after = value.channels_after;
+  response.vcs_added = value.vcs_added;
+  response.iterations = value.iterations;
+  response.flows_rerouted = value.flows_rerouted;
+}
+
+}  // namespace
+
+NocDesign MaterializeRequestDesign(const CertRequest& request,
+                                   const valid::DesignEnvelope& envelope) {
+  switch (request.kind) {
+    case RequestKind::kDesignText: {
+      std::istringstream in(request.design_text);
+      return ReadDesign(in);
+    }
+    case RequestKind::kGeneratorSpec:
+      return gen::GenerateStandardDesign(request.generator);
+    case RequestKind::kSourceSeed:
+      return valid::GenerateTrialDesign(request.source, request.seed,
+                                        envelope);
+  }
+  throw InvalidModelError("MaterializeRequestDesign: unknown request kind");
+}
+
+CachedCertification ComputeCertification(const NocDesign& canonical_design,
+                                         const CertRequest& request) {
+  CachedCertification out;
+  NocDesign treated = canonical_design;
+  out.channels_before = treated.topology.ChannelCount();
+  if (request.treat) {
+    const RemovalReport report = RemoveDeadlocks(treated, request.options);
+    out.initially_deadlock_free = report.initially_deadlock_free;
+    out.iterations = report.iterations;
+    out.vcs_added = report.vcs_added;
+    out.flows_rerouted = report.flows_rerouted;
+  }
+  out.channels_after = treated.topology.ChannelCount();
+  const DeadlockCertificate certificate = CertifyDeadlockFreedom(treated);
+  out.deadlock_free = certificate.deadlock_free;
+  if (!request.treat) {
+    out.initially_deadlock_free = certificate.deadlock_free;
+  }
+  out.certificate_json = CertificateToJson(certificate);
+  out.treated_design_text = DesignText(treated);
+  return out;
+}
+
+CertificationService::CertificationService(ServiceConfig config,
+                                           Certifier certifier)
+    : config_(config),
+      certifier_(std::move(certifier)),
+      cache_(config.cache),
+      front_(config.front_cache),
+      coalescer_(CoalescerConfig{config.threads, config.max_pending}) {
+  if (!certifier_) {
+    certifier_ = ComputeCertification;
+  }
+}
+
+CertResponse CertificationService::Serve(const CertRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CertResponse response;
+  // Request failures are responses, never escaping exceptions: Serve is
+  // called from ServeBatch's pool workers (which must not throw) and
+  // from long-lived server loops, and an injected test certifier (or an
+  // allocation failure outside the inner try blocks) may throw types
+  // the inner handlers don't cover.
+  try {
+    response = ServeInner(request);
+  } catch (const std::exception& e) {
+    response = CertResponse{};
+    response.id = request.id;
+    response.status = ServeStatus::kError;
+    response.error = e.what();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+  } catch (...) {
+    response = CertResponse{};
+    response.id = request.id;
+    response.status = ServeStatus::kError;
+    response.error = "unknown non-standard exception";
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+  }
+  response.service_ms = MillisSince(t0);
+  return response;
+}
+
+CertResponse CertificationService::ServeInner(const CertRequest& request) {
+  CertResponse response;
+  response.id = request.id;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+
+  // Front fast path: an exact repeat of a request already resolved maps
+  // straight to its canonical cache entry — no materialization, no
+  // canonicalization. An FNV pass over the raw bytes plus two hash
+  // lookups; this is what a warm hit costs.
+  std::string fingerprint;
+  std::uint64_t fingerprint_digest = 0;
+  if (config_.cache_enabled) {
+    fingerprint = FingerprintText(request);
+    fingerprint_digest = FingerprintDigest(fingerprint);
+    if (const auto target = front_.Lookup(fingerprint_digest, fingerprint)) {
+      // Revalidate, not Lookup: if the canonical entry was evicted, the
+      // full path below will count the one miss for this request.
+      if (const auto hit = cache_.Revalidate(target->canonical_digest,
+                                             target->canonical_key_text)) {
+        response.key = target->canonical_digest;
+        FillPayload(response, *hit, request);
+        response.cache_outcome = CacheOutcome::kHit;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.hits;
+        return response;
+      }
+      // Canonical entry evicted since the memo was written; fall
+      // through to the full path (which re-publishes it).
+    }
+  }
+
+  CanonicalDesign canonical;
+  try {
+    canonical =
+        CanonicalizeDesign(MaterializeRequestDesign(request, config_.envelope));
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+    response.status = ServeStatus::kError;
+    response.error = e.what();
+    return response;
+  }
+  response.key =
+      CanonicalTextDigest(canonical.text, request.options, request.treat);
+  const std::string key_text = CacheKeyText(canonical.text, request);
+
+  if (!config_.cache_enabled) {
+    // Recompute path: inline on the caller thread, no memoization, no
+    // coalescing. The bench's cold baseline.
+    try {
+      const CachedCertification value = certifier_(canonical.design, request);
+      FillPayload(response, value, request);
+      response.cache_outcome = CacheOutcome::kComputed;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.computations;
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.errors;
+      response.status = ServeStatus::kError;
+      response.error = e.what();
+    }
+    return response;
+  }
+
+  // Remember how this exact request resolves, so its next repeat takes
+  // the front fast path.
+  const auto publish_front = [&] {
+    front_.Insert(fingerprint_digest, std::move(fingerprint),
+                  FrontTarget{response.key, key_text});
+  };
+
+  // Fast path: a sharded, counted lookup with no global serialization.
+  if (const auto hit = cache_.Lookup(response.key, key_text)) {
+    FillPayload(response, *hit, request);
+    response.cache_outcome = CacheOutcome::kHit;
+    publish_front();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.hits;
+    return response;
+  }
+
+  // Slow path: re-probe + single-flight under the coalescer lock. The
+  // factory defers the design/request copies to the one leader; the
+  // followers a duplicate burst produces never pay them.
+  RequestCoalescer::Outcome outcome = coalescer_.Submit(
+      response.key, key_text,
+      [&]() -> std::optional<RequestCoalescer::Result> {
+        if (const auto hit = cache_.Revalidate(response.key, key_text)) {
+          return *hit;
+        }
+        return std::nullopt;
+      },
+      [&]() -> RequestCoalescer::ComputeFn {
+        return [this, design = canonical.design, request,
+                key = response.key, key_text]() {
+          CachedCertification value = certifier_(design, request);
+          // Publish before the coalescer retires the in-flight entry —
+          // the exactly-once-per-key argument lives on this ordering.
+          cache_.Insert(key, key_text, value);
+          return value;
+        };
+      });
+
+  switch (outcome.kind) {
+    case RequestCoalescer::Outcome::Kind::kResolved: {
+      FillPayload(response, *outcome.resolved, request);
+      response.cache_outcome = CacheOutcome::kHit;
+      publish_front();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hits;
+      return response;
+    }
+    case RequestCoalescer::Outcome::Kind::kRejected: {
+      response.status = ServeStatus::kOverloaded;
+      response.cache_outcome = CacheOutcome::kNone;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+      return response;
+    }
+    case RequestCoalescer::Outcome::Kind::kLeader:
+    case RequestCoalescer::Outcome::Kind::kFollower: {
+      const bool leader =
+          outcome.kind == RequestCoalescer::Outcome::Kind::kLeader;
+      try {
+        const CachedCertification value = outcome.future.get();
+        FillPayload(response, value, request);
+        response.cache_outcome =
+            leader ? CacheOutcome::kComputed : CacheOutcome::kCoalesced;
+        publish_front();
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++(leader ? stats_.computations : stats_.coalesced);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.errors;
+        response.status = ServeStatus::kError;
+        response.error = e.what();
+      }
+      return response;
+    }
+  }
+  return response;
+}
+
+std::vector<CertResponse> CertificationService::ServeBatch(
+    const std::vector<CertRequest>& requests, std::size_t client_threads) {
+  if (client_threads == 0) {
+    client_threads = coalescer_.ThreadCount();
+  }
+  return runner::ParallelMapIndexed<CertResponse>(
+      requests.size(), client_threads,
+      [&](std::size_t i) { return Serve(requests[i]); });
+}
+
+ServiceStats CertificationService::Stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = stats_;
+  }
+  stats.pool_backlog = coalescer_.PoolBacklog();
+  stats.cache = cache_.Stats();
+  stats.front = front_.Stats();
+  return stats;
+}
+
+std::uint64_t ResponseDigest(const std::vector<CertResponse>& responses) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const CertResponse& response : responses) {
+    DigestField(h, response.id);
+    DigestField(h, static_cast<std::uint64_t>(response.status));
+    DigestField(h, response.error);
+    DigestField(h, response.key);
+    DigestField(h, static_cast<std::uint64_t>(response.deadlock_free));
+    DigestField(h,
+                static_cast<std::uint64_t>(response.initially_deadlock_free));
+    DigestField(h, response.certificate_json);
+    DigestField(h, response.treated_design_text);
+    DigestField(h, response.channels_before);
+    DigestField(h, response.channels_after);
+    DigestField(h, response.vcs_added);
+    DigestField(h, response.iterations);
+    DigestField(h, response.flows_rerouted);
+  }
+  return h;
+}
+
+}  // namespace nocdr::serve

@@ -1,0 +1,225 @@
+// CertificationService: the certify pipeline as a deterministic
+// multi-client service.
+//
+// One request names a certification problem three ways — an inline
+// noc/io design text, a standard-topology generator spec (src/gen), or
+// a campaign design source + seed (src/valid) — plus the removal
+// options to treat it with. The service materializes the design,
+// canonicalizes it (util/canonical: flow sort + io fixpoint, so flow
+// declaration order, comments and channel numbering never split the
+// cache), and serves the certificate + VC-insertion result through a
+// sharded LRU cache (serve/cert_cache) fronted by a single-flight
+// coalescer (serve/coalescer) running computations on the runner
+// thread pool.
+//
+// Determinism contract: the response *payload* (certificate JSON,
+// treated design text, VC counts) is a pure function of the canonical
+// key — hit, computed and coalesced requests produce bit-identical
+// payloads, and ResponseDigest over a batch is identical for any client
+// thread count. Cache/timing metadata (cache_outcome, *_ms) is
+// explicitly excluded from that contract.
+//
+// Two cache levels (see serve/cert_cache.h): the authoritative
+// certificate cache is content-addressed by the canonical digest, so
+// any representation of the same problem — reordered flows, a comment
+// in the text, a generator spec vs. its rendered design — lands on one
+// entry. In front of it sits a request *fingerprint* memo keyed by the
+// raw request bytes: an exact repeat (the overwhelmingly common case in
+// repeat-heavy traffic) resolves to the canonical entry without
+// materializing or canonicalizing the design at all, which is what
+// makes a warm hit orders of magnitude cheaper than a recompute. The
+// memo stores only the mapping to the canonical key; if the canonical
+// entry was evicted, the request falls back to the full path.
+//
+// Backpressure: when the admission bound is full, novel requests get
+// ServeStatus::kOverloaded immediately instead of queueing unboundedly;
+// duplicate-in-flight requests always join their leader (they add no
+// work). The line protocol (serve/protocol.h) and the nocdr_serve
+// binary expose the same semantics over stdin/stdout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "deadlock/removal.h"
+#include "gen/generators.h"
+#include "serve/cert_cache.h"
+#include "serve/coalescer.h"
+#include "valid/campaign.h"
+
+namespace nocdr::serve {
+
+enum class RequestKind {
+  kDesignText,     // inline noc/io design text
+  kGeneratorSpec,  // standard-topology generator parameterization
+  kSourceSeed,     // campaign design source + seed (all five sources)
+};
+
+struct CertRequest {
+  /// Echoed verbatim in the response; empty is fine.
+  std::string id;
+  RequestKind kind = RequestKind::kDesignText;
+
+  std::string design_text;                 // kDesignText
+  gen::GeneratorSpec generator;            // kGeneratorSpec
+  valid::DesignSource source =
+      valid::DesignSource::kSynthesized;   // kSourceSeed
+  std::uint64_t seed = 0;                  // kSourceSeed
+
+  /// Removal options applied when \p treat is true. engine is accepted
+  /// but does not split the cache (both engines are bit-identical).
+  RemovalOptions options;
+  /// false: certify the design as-is (the certificate may be negative,
+  /// carrying a CDG-cycle counterexample).
+  bool treat = true;
+  /// Include the treated design text in the response payload.
+  bool return_design = false;
+};
+
+enum class ServeStatus {
+  kOk,
+  kOverloaded,  // admission bound hit; retry later
+  kError,       // malformed request or failed computation
+};
+
+/// How the response was produced; metadata only, excluded from the
+/// deterministic payload.
+enum class CacheOutcome {
+  kHit,        // served from the cache
+  kComputed,   // this request ran the computation (coalescing leader)
+  kCoalesced,  // joined another request's in-flight computation
+  kNone,       // overloaded / error before the cache was consulted
+};
+
+struct CertResponse {
+  // ---- deterministic payload (covered by ResponseDigest) ----
+  std::string id;
+  ServeStatus status = ServeStatus::kError;
+  std::string error;  // non-empty iff status == kError
+  /// Canonical content-addressed key (design + options + treat).
+  std::uint64_t key = 0;
+  bool deadlock_free = false;
+  bool initially_deadlock_free = false;
+  std::string certificate_json;
+  /// Non-empty iff the request set return_design.
+  std::string treated_design_text;
+  std::size_t channels_before = 0;
+  std::size_t channels_after = 0;
+  std::size_t vcs_added = 0;
+  std::size_t iterations = 0;
+  std::size_t flows_rerouted = 0;
+
+  // ---- metadata (schedule/timing dependent, excluded) ----
+  CacheOutcome cache_outcome = CacheOutcome::kNone;
+  double service_ms = 0.0;
+};
+
+/// Service-level counters. requests == hits + computations + coalesced
+/// + rejected + errors; the split between hits and coalesced depends on
+/// request interleaving, but computations is exactly the number of
+/// distinct keys computed while no eviction interferes (the coalescer's
+/// exactly-once contract).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t computations = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::size_t pool_backlog = 0;
+  /// The authoritative certificate cache.
+  CacheStats cache;
+  /// The raw-request fingerprint memo in front of it.
+  CacheStats front;
+};
+
+struct ServiceConfig {
+  CacheConfig cache;
+  /// Bounds of the raw-request fingerprint memo (entries are small:
+  /// request bytes + canonical key text).
+  CacheConfig front_cache{16, 8192, 32ull << 20};
+  /// Compute pool threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Admission bound on in-flight computations (see serve/coalescer.h).
+  std::size_t max_pending = 1024;
+  /// false: bypass the cache and coalescer entirely — every request
+  /// recomputes inline on the caller thread. The bench's recompute
+  /// baseline.
+  bool cache_enabled = true;
+  /// Size envelope for kSourceSeed requests (valid::GenerateTrialDesign).
+  valid::DesignEnvelope envelope;
+};
+
+class CertificationService {
+ public:
+  /// The certification computation: canonical design + request ->
+  /// cached value. Injectable so tests can gate, count or fail the
+  /// computation deterministically; production uses
+  /// ComputeCertification.
+  using Certifier = std::function<CachedCertification(
+      const NocDesign& canonical_design, const CertRequest& request)>;
+
+  explicit CertificationService(ServiceConfig config = {},
+                                Certifier certifier = {});
+
+  CertificationService(const CertificationService&) = delete;
+  CertificationService& operator=(const CertificationService&) = delete;
+
+  /// Serves one request, blocking until the response is ready (or
+  /// immediately for hits, rejections and malformed requests). Safe to
+  /// call from many threads.
+  CertResponse Serve(const CertRequest& request);
+
+  /// Serves \p requests over \p client_threads caller-side threads
+  /// (0 = the compute pool width); responses come back indexed like the
+  /// input. Deterministic payloads for any thread count.
+  std::vector<CertResponse> ServeBatch(const std::vector<CertRequest>& requests,
+                                       std::size_t client_threads = 0);
+
+  [[nodiscard]] ServiceStats Stats() const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// What the fingerprint memo resolves a raw request to: the canonical
+  /// cache coordinates of its certification problem.
+  struct FrontTarget {
+    std::uint64_t canonical_digest = 0;
+    std::string canonical_key_text;
+
+    [[nodiscard]] std::size_t PayloadBytes() const {
+      return canonical_key_text.size();
+    }
+  };
+
+  CertResponse ServeInner(const CertRequest& request);
+
+  ServiceConfig config_;
+  Certifier certifier_;
+  ShardedCertCache cache_;
+  ShardedLruCache<FrontTarget> front_;
+  RequestCoalescer coalescer_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+/// The production certification computation: copy the canonical design,
+/// optionally RemoveDeadlocks with the request's options, certify, and
+/// serialize certificate + treated design. Deterministic in its inputs.
+CachedCertification ComputeCertification(const NocDesign& canonical_design,
+                                         const CertRequest& request);
+
+/// Materializes the design a request names (parse, generate, or
+/// campaign trial draw). Throws on malformed design text or generator
+/// parameters.
+NocDesign MaterializeRequestDesign(const CertRequest& request,
+                                   const valid::DesignEnvelope& envelope);
+
+/// FNV-1a digest over the deterministic payload fields of \p responses,
+/// in order. Identical for any client thread count and any cache state.
+std::uint64_t ResponseDigest(const std::vector<CertResponse>& responses);
+
+}  // namespace nocdr::serve

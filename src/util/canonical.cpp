@@ -1,0 +1,135 @@
+#include "util/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "noc/io.h"
+#include "util/digest.h"
+#include "util/error.h"
+
+namespace nocdr {
+
+namespace {
+
+/// Channel-numbering-independent sort key of one route: the (link, vc)
+/// pairs the text format itself stores.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> RouteKey(
+    const NocDesign& design, const Route& route) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> key;
+  key.reserve(route.size());
+  for (const ChannelId c : route) {
+    const Channel& channel = design.topology.ChannelAt(c);
+    key.emplace_back(channel.link.value(), channel.vc);
+  }
+  return key;
+}
+
+/// Rebuilds \p design with its flows (and routes) permuted into the
+/// canonical order: ascending (src, dst, bandwidth, route). Topology,
+/// cores and attachment are untouched, so all ids except FlowId stay
+/// stable.
+NocDesign SortFlows(const NocDesign& design) {
+  const std::size_t flow_count = design.traffic.FlowCount();
+  std::vector<std::size_t> order(flow_count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    const Flow& fa = design.traffic.FlowAt(FlowId(a));
+    const Flow& fb = design.traffic.FlowAt(FlowId(b));
+    if (fa.src != fb.src) {
+      return fa.src.value() < fb.src.value();
+    }
+    if (fa.dst != fb.dst) {
+      return fa.dst.value() < fb.dst.value();
+    }
+    if (fa.bandwidth_mbps != fb.bandwidth_mbps) {
+      return fa.bandwidth_mbps < fb.bandwidth_mbps;
+    }
+    return RouteKey(design, design.routes.RouteOf(FlowId(a))) <
+           RouteKey(design, design.routes.RouteOf(FlowId(b)));
+  });
+
+  NocDesign out;
+  out.name = design.name;
+  out.topology = design.topology;
+  out.attachment = design.attachment;
+  for (std::size_t c = 0; c < design.traffic.CoreCount(); ++c) {
+    out.traffic.AddCore(design.traffic.CoreName(CoreId(c)));
+  }
+  out.routes.Resize(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    const Flow& flow = design.traffic.FlowAt(FlowId(order[i]));
+    const FlowId f = out.traffic.AddFlow(flow.src, flow.dst,
+                                         flow.bandwidth_mbps);
+    out.routes.SetRoute(f, design.routes.RouteOf(FlowId(order[i])));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DesignText(const NocDesign& design) {
+  std::ostringstream out;
+  WriteDesign(out, design);
+  return out.str();
+}
+
+NocDesign IoCanonicalize(const NocDesign& design) {
+  std::istringstream in(DesignText(design));
+  return ReadDesign(in);
+}
+
+bool IsIoStable(const NocDesign& design) {
+  return DesignText(IoCanonicalize(design)) == DesignText(design);
+}
+
+CanonicalDesign CanonicalizeDesign(const NocDesign& design) {
+  CanonicalDesign out;
+  out.text = DesignText(SortFlows(design));
+  // Drive the rendering to its round-trip fixpoint so a consumer who
+  // parses the text and re-canonicalizes gets byte-identical text (and
+  // therefore the same digest). One trip suffices in practice — the
+  // format stores link:vc pairs, not channel ids — the loop guards
+  // against io drift rather than doing expected work.
+  for (int round = 0; round < 4; ++round) {
+    std::istringstream in(out.text);
+    out.design = ReadDesign(in);
+    const std::string reparsed = DesignText(out.design);
+    if (reparsed == out.text) {
+      return out;
+    }
+    out.text = reparsed;
+  }
+  throw InvalidModelError(
+      "CanonicalizeDesign: text rendering did not reach a round-trip "
+      "fixpoint for design \"" +
+      design.name + "\"");
+}
+
+void DigestRemovalOptions(std::uint64_t& h, const RemovalOptions& options) {
+  DigestField(h, static_cast<std::uint64_t>(options.cycle_policy));
+  DigestField(h, static_cast<std::uint64_t>(options.direction_policy));
+  DigestField(h, static_cast<std::uint64_t>(options.duplication));
+  DigestField(h, static_cast<std::uint64_t>(options.max_iterations));
+}
+
+std::uint64_t CanonicalDesignDigest(const NocDesign& design,
+                                    const RemovalOptions& options,
+                                    bool treat) {
+  return CanonicalTextDigest(CanonicalizeDesign(design).text, options,
+                             treat);
+}
+
+std::uint64_t CanonicalTextDigest(const std::string& canonical_text,
+                                  const RemovalOptions& options,
+                                  bool treat) {
+  std::uint64_t h = kFnvOffsetBasis;
+  DigestField(h, canonical_text);
+  DigestRemovalOptions(h, options);
+  DigestField(h, static_cast<std::uint64_t>(treat));
+  return h;
+}
+
+}  // namespace nocdr

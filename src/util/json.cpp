@@ -53,6 +53,12 @@ JsonObject& JsonObject::Set(const std::string& key, const char* value) {
   return Set(key, std::string(value));
 }
 
+JsonObject& JsonObject::SetRaw(const std::string& key,
+                               const std::string& json_fragment) {
+  fields_.emplace_back(key, json_fragment);
+  return *this;
+}
+
 JsonObject& JsonObject::Set(const std::string& key, bool value) {
   fields_.emplace_back(key, value ? "true" : "false");
   return *this;

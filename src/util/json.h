@@ -44,6 +44,12 @@ class JsonObject {
     }
   }
 
+  /// Splices \p json_fragment in verbatim as the value of \p key — the
+  /// one escape hatch from the flat-rows-only rule, for embedding a
+  /// document this library itself rendered (e.g. a certificate object
+  /// inside a serve response). The caller owns the fragment's validity.
+  JsonObject& SetRaw(const std::string& key, const std::string& json_fragment);
+
   /// Renders {"k":v,...}.
   [[nodiscard]] std::string Dump() const;
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "noc/io.h"
+#include "util/canonical.h"
 #include "util/error.h"
 
 namespace nocdr::valid {
@@ -23,8 +24,6 @@ SimEngine ParseEngine(const std::string& name) {
 }  // namespace
 
 std::string ReproToJson(const Repro& repro) {
-  std::ostringstream design_text;
-  WriteDesign(design_text, repro.design);
   JsonObject json;
   json.Set("version", 1)
       .Set("trial", repro.trial_index)
@@ -42,7 +41,7 @@ std::string ReproToJson(const Repro& repro) {
       .Set("engine", repro.workload.engine == SimEngine::kWorklist
                          ? "worklist"
                          : "fullscan")
-      .Set("design", design_text.str());
+      .Set("design", DesignText(repro.design));
   return json.Dump();
 }
 

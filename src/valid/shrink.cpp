@@ -1,11 +1,15 @@
 #include "valid/shrink.h"
 
 #include <algorithm>
-#include <sstream>
 
-#include "noc/io.h"
+#include "util/canonical.h"
 #include "util/error.h"
 #include "util/rng.h"
+
+// DesignText / IoCanonicalize / IsIoStable live in util/canonical: the
+// certification service (src/serve) keys its cache by the same
+// canonical text the shrinker validates repros against, and two private
+// copies of that primitive would be free to drift apart.
 
 namespace nocdr::valid {
 
@@ -16,28 +20,6 @@ namespace {
 std::uint64_t StepSeed(std::uint64_t seed, std::size_t step) {
   const std::uint64_t mixed = Rng(static_cast<std::uint64_t>(step)).Next();
   return Rng(seed ^ mixed).Next();
-}
-
-/// Stable, diff-friendly rendering of a whole design.
-std::string DesignText(const NocDesign& design) {
-  std::ostringstream out;
-  WriteDesign(out, design);
-  return out.str();
-}
-
-/// Text round trip through noc/io: the parsed-back design is what a
-/// repro consumer will actually reconstruct, so the shrinker validates
-/// against exactly that (channel ids may be renumbered by the round
-/// trip, which can shift round-robin arbitration order).
-NocDesign Canonicalize(const NocDesign& design) {
-  std::istringstream in(DesignText(design));
-  return ReadDesign(in);
-}
-
-/// True when the io round trip reproduces \p design exactly (identical
-/// text implies identical channel numbering, so identical simulation).
-bool IsIoStable(const NocDesign& design) {
-  return DesignText(Canonicalize(design)) == DesignText(design);
 }
 
 }  // namespace
@@ -199,7 +181,7 @@ ShrinkResult ShrinkMismatch(const NocDesign& design, TrialArm arm,
   if (!IsIoStable(result.design)) {
     for (int attempt = 0; attempt < 3; ++attempt) {
       const std::uint64_t step_seed = StepSeed(seed, result.candidates + 1);
-      NocDesign candidate = Canonicalize(result.design);
+      NocDesign candidate = IoCanonicalize(result.design);
       if (mismatches(candidate, step_seed)) {
         result.design = std::move(candidate);
         result.seed = step_seed;

@@ -1,0 +1,169 @@
+// util/canonical: canonical design rendering and content-addressed
+// digesting — the primitive the certification service keys its cache by
+// and the shrinker validates repros against.
+#include "util/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "noc/io.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace nocdr {
+namespace {
+
+using testing::MakePaperExample;
+using testing::MakeRandomDesign;
+
+/// Rebuilds \p design with flows (and their routes) permuted by
+/// \p order — the construction-order noise canonicalization must erase.
+NocDesign PermuteFlows(const NocDesign& design,
+                       const std::vector<std::size_t>& order) {
+  NocDesign out;
+  out.name = design.name;
+  out.topology = design.topology;
+  out.attachment = design.attachment;
+  for (std::size_t c = 0; c < design.traffic.CoreCount(); ++c) {
+    out.traffic.AddCore(design.traffic.CoreName(CoreId(c)));
+  }
+  out.routes.Resize(order.size());
+  for (const std::size_t original : order) {
+    const Flow& flow = design.traffic.FlowAt(FlowId(original));
+    const FlowId f =
+        out.traffic.AddFlow(flow.src, flow.dst, flow.bandwidth_mbps);
+    out.routes.SetRoute(f, design.routes.RouteOf(FlowId(original)));
+  }
+  out.Validate();
+  return out;
+}
+
+TEST(CanonicalTest, IoCanonicalizePreservesFlowOrderAndText) {
+  const NocDesign design = MakePaperExample().design;
+  const NocDesign round = IoCanonicalize(design);
+  EXPECT_EQ(DesignText(design), DesignText(round));
+  ASSERT_EQ(design.traffic.FlowCount(), round.traffic.FlowCount());
+  for (std::size_t f = 0; f < design.traffic.FlowCount(); ++f) {
+    EXPECT_EQ(design.traffic.FlowAt(FlowId(f)).src,
+              round.traffic.FlowAt(FlowId(f)).src);
+  }
+  EXPECT_TRUE(IsIoStable(design));
+}
+
+TEST(CanonicalTest, DigestStableUnderFlowReordering) {
+  const RemovalOptions options;
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const NocDesign design = MakeRandomDesign(seed);
+    const std::uint64_t base = CanonicalDesignDigest(design, options);
+
+    std::vector<std::size_t> order(design.traffic.FlowCount());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = order.size() - 1 - i;  // full reversal
+    }
+    EXPECT_EQ(base,
+              CanonicalDesignDigest(PermuteFlows(design, order), options))
+        << "seed " << seed;
+
+    Rng rng(seed ^ 0xfeed);
+    rng.Shuffle(order);
+    EXPECT_EQ(base,
+              CanonicalDesignDigest(PermuteFlows(design, order), options))
+        << "seed " << seed;
+  }
+}
+
+TEST(CanonicalTest, DigestStableUnderTextNoise) {
+  // Comments, blank lines and trailing whitespace-only reformatting of
+  // the source text must not change identity: parse both renderings and
+  // digest.
+  const NocDesign design = MakePaperExample().design;
+  const std::string text = DesignText(design);
+  std::string noisy = "# a comment\n\n";
+  for (const char c : text) {
+    noisy += c;
+    if (c == '\n') {
+      noisy += "# between lines\n\n";
+    }
+  }
+  std::istringstream in(noisy);
+  const NocDesign reparsed = ReadDesign(in);
+  const RemovalOptions options;
+  EXPECT_EQ(CanonicalDesignDigest(design, options),
+            CanonicalDesignDigest(reparsed, options));
+}
+
+TEST(CanonicalTest, CanonicalizationIsIdempotent) {
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const NocDesign design = MakeRandomDesign(seed);
+    const CanonicalDesign once = CanonicalizeDesign(design);
+    const CanonicalDesign twice = CanonicalizeDesign(once.design);
+    EXPECT_EQ(once.text, twice.text) << "seed " << seed;
+    EXPECT_TRUE(IsIoStable(once.design)) << "seed " << seed;
+  }
+}
+
+TEST(CanonicalTest, CanonicalizationPreservesTheCertificationProblem) {
+  // Same switches, links, channel multiset and route multiset — only
+  // flow identity may be renamed.
+  const NocDesign design = MakeRandomDesign(5);
+  const CanonicalDesign canonical = CanonicalizeDesign(design);
+  EXPECT_EQ(design.topology.SwitchCount(),
+            canonical.design.topology.SwitchCount());
+  EXPECT_EQ(design.topology.LinkCount(),
+            canonical.design.topology.LinkCount());
+  EXPECT_EQ(design.topology.ChannelCount(),
+            canonical.design.topology.ChannelCount());
+  ASSERT_EQ(design.traffic.FlowCount(),
+            canonical.design.traffic.FlowCount());
+
+  const auto route_key = [](const NocDesign& d, FlowId f) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> key;
+    for (const ChannelId c : d.routes.RouteOf(f)) {
+      const Channel& channel = d.topology.ChannelAt(c);
+      key.emplace_back(channel.link.value(), channel.vc);
+    }
+    return key;
+  };
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> a, b;
+  for (std::size_t f = 0; f < design.traffic.FlowCount(); ++f) {
+    a.push_back(route_key(design, FlowId(f)));
+    b.push_back(route_key(canonical.design, FlowId(f)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalTest, DigestSeparatesDesignsAndOptions) {
+  const NocDesign a = MakeRandomDesign(1);
+  const NocDesign b = MakeRandomDesign(2);
+  const RemovalOptions options;
+  EXPECT_NE(CanonicalDesignDigest(a, options),
+            CanonicalDesignDigest(b, options));
+
+  RemovalOptions first_found;
+  first_found.cycle_policy = CyclePolicy::kFirstFound;
+  EXPECT_NE(CanonicalDesignDigest(a, options),
+            CanonicalDesignDigest(a, first_found));
+
+  RemovalOptions capped;
+  capped.max_iterations = 7;
+  EXPECT_NE(CanonicalDesignDigest(a, options),
+            CanonicalDesignDigest(a, capped));
+
+  EXPECT_NE(CanonicalDesignDigest(a, options, /*treat=*/true),
+            CanonicalDesignDigest(a, options, /*treat=*/false));
+
+  // The engine choice is *not* part of identity: both engines produce
+  // bit-identical results, so they share cache entries.
+  RemovalOptions rebuild;
+  rebuild.engine = RemovalEngine::kRebuild;
+  EXPECT_EQ(CanonicalDesignDigest(a, options),
+            CanonicalDesignDigest(a, rebuild));
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -1,0 +1,613 @@
+// src/serve: sharded certificate cache, request coalescing and the
+// certification service's determinism / backpressure contracts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "deadlock/verify.h"
+#include "gen/generators.h"
+#include "noc/io.h"
+#include "serve/cert_cache.h"
+#include "serve/coalescer.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "test_helpers.h"
+#include "util/canonical.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace nocdr {
+namespace {
+
+using serve::CachedCertification;
+using serve::CacheConfig;
+using serve::CacheOutcome;
+using serve::CertificationService;
+using serve::CertRequest;
+using serve::CertResponse;
+using serve::CoalescerConfig;
+using serve::RequestCoalescer;
+using serve::RequestKind;
+using serve::ServeStatus;
+using serve::ServiceConfig;
+using serve::ShardedCertCache;
+using testing::MakePaperExample;
+using testing::MakeRandomDesign;
+using testing::MakeRingDesign;
+
+CachedCertification MakeValue(const std::string& tag,
+                              std::size_t padding = 0) {
+  CachedCertification value;
+  value.certificate_json = "{\"tag\":\"" + tag + "\"}";
+  value.treated_design_text = std::string(padding, 'x');
+  value.deadlock_free = true;
+  return value;
+}
+
+CertRequest TextRequest(const std::string& id, const NocDesign& design) {
+  CertRequest request;
+  request.id = id;
+  request.kind = RequestKind::kDesignText;
+  request.design_text = DesignText(design);
+  return request;
+}
+
+/// Spins until \p predicate holds or ~10 s elapse.
+template <typename Predicate>
+bool SpinUntil(const Predicate& predicate) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(CertCacheTest, InsertLookupRoundTripAndCounters) {
+  ShardedCertCache cache(CacheConfig{4, 64, 1 << 20});
+  EXPECT_FALSE(cache.Lookup(1, "k1"));
+  cache.Insert(1, "k1", MakeValue("a"));
+  const auto hit = cache.Lookup(1, "k1");
+  ASSERT_TRUE(hit != nullptr);
+  EXPECT_EQ(hit->certificate_json, "{\"tag\":\"a\"}");
+
+  const serve::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(CertCacheTest, DigestCollisionDegradesToMissNeverWrongValue) {
+  ShardedCertCache cache(CacheConfig{1, 8, 1 << 20});
+  cache.Insert(42, "key_a", MakeValue("a"));
+  // Same digest, different key text: must miss, not serve "a".
+  EXPECT_FALSE(cache.Lookup(42, "key_b"));
+  // The collision insert replaces; the old key then misses.
+  cache.Insert(42, "key_b", MakeValue("b"));
+  EXPECT_FALSE(cache.Lookup(42, "key_a"));
+  const auto hit = cache.Lookup(42, "key_b");
+  ASSERT_TRUE(hit != nullptr);
+  EXPECT_EQ(hit->certificate_json, "{\"tag\":\"b\"}");
+}
+
+TEST(CertCacheTest, LruEvictionRespectsEntryBoundAndRecency) {
+  ShardedCertCache cache(CacheConfig{1, 3, 1 << 20});
+  cache.Insert(1, "k1", MakeValue("a"));
+  cache.Insert(2, "k2", MakeValue("b"));
+  cache.Insert(3, "k3", MakeValue("c"));
+  // Touch k1 so k2 becomes the LRU victim.
+  EXPECT_TRUE(cache.Lookup(1, "k1") != nullptr);
+  cache.Insert(4, "k4", MakeValue("d"));
+
+  EXPECT_TRUE(cache.Lookup(1, "k1") != nullptr);
+  EXPECT_FALSE(cache.Lookup(2, "k2"));
+  EXPECT_TRUE(cache.Lookup(3, "k3") != nullptr);
+  EXPECT_TRUE(cache.Lookup(4, "k4") != nullptr);
+
+  const serve::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(CertCacheTest, ByteBoundEvictsAndRejectsOversize) {
+  // Each padded value is ~1 KiB; the shard budget fits about two.
+  ShardedCertCache cache(CacheConfig{1, 100, 2600});
+  cache.Insert(1, "k1", MakeValue("a", 1000));
+  cache.Insert(2, "k2", MakeValue("b", 1000));
+  cache.Insert(3, "k3", MakeValue("c", 1000));
+  serve::CacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 2600u);
+  EXPECT_LE(stats.entries, 2u);
+
+  // An entry that alone exceeds the budget is rejected outright and
+  // does not wipe the resident entries.
+  const std::size_t entries_before = stats.entries;
+  cache.Insert(9, "huge", MakeValue("h", 100000));
+  stats = cache.Stats();
+  EXPECT_EQ(stats.oversize_rejections, 1u);
+  EXPECT_EQ(stats.entries, entries_before);
+}
+
+TEST(CertCacheTest, RevalidateCountsHitsOnly) {
+  ShardedCertCache cache(CacheConfig{1, 8, 1 << 20});
+  EXPECT_FALSE(cache.Revalidate(5, "k"));
+  serve::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 0u);
+  cache.Insert(5, "k", MakeValue("v"));
+  EXPECT_TRUE(cache.Revalidate(5, "k") != nullptr);
+  stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+// ------------------------------------------------------------ coalescer
+
+TEST(CoalescerTest, ConcurrentDuplicatesShareExactlyOneComputation) {
+  constexpr std::size_t kClients = 4;
+  RequestCoalescer coalescer(CoalescerConfig{2, 8});
+  std::atomic<std::size_t> submitted{0};
+  std::atomic<std::size_t> computes{0};
+
+  // The computation refuses to finish until every client has submitted,
+  // so all of them are provably in flight together — none can be served
+  // by a cache or by a fresh leader after the fact.
+  const auto compute = [&]() -> CachedCertification {
+    ++computes;
+    EXPECT_TRUE(SpinUntil([&] { return submitted.load() == kClients; }));
+    return MakeValue("shared");
+  };
+  const auto probe = []() -> std::optional<CachedCertification> {
+    return std::nullopt;
+  };
+  const auto make_compute = [&]() -> RequestCoalescer::ComputeFn {
+    return compute;
+  };
+
+  std::vector<RequestCoalescer::Outcome> outcomes(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      outcomes[i] = coalescer.Submit(99, "same-key", probe, make_compute);
+      ++submitted;
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+
+  std::size_t leaders = 0;
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.kind == RequestCoalescer::Outcome::Kind::kLeader ||
+                outcome.kind == RequestCoalescer::Outcome::Kind::kFollower);
+    leaders += outcome.kind == RequestCoalescer::Outcome::Kind::kLeader;
+    const CachedCertification value = outcome.future.get();
+    EXPECT_EQ(value.certificate_json, "{\"tag\":\"shared\"}");
+  }
+  EXPECT_EQ(leaders, 1u);
+  EXPECT_EQ(computes.load(), 1u);
+}
+
+TEST(CoalescerTest, ComputeExceptionReachesEveryWaiter) {
+  constexpr std::size_t kClients = 3;
+  RequestCoalescer coalescer(CoalescerConfig{1, 8});
+  std::atomic<std::size_t> submitted{0};
+  const auto compute = [&]() -> CachedCertification {
+    if (!SpinUntil([&] { return submitted.load() == kClients; })) {
+      ADD_FAILURE() << "clients never all submitted";
+    }
+    throw AlgorithmLimitError("deliberate failure");
+  };
+  const auto probe = []() -> std::optional<CachedCertification> {
+    return std::nullopt;
+  };
+  const auto make_compute = [&]() -> RequestCoalescer::ComputeFn {
+    return compute;
+  };
+
+  std::vector<RequestCoalescer::Outcome> outcomes(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      outcomes[i] = coalescer.Submit(7, "poisoned", probe, make_compute);
+      ++submitted;
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (const auto& outcome : outcomes) {
+    EXPECT_THROW((void)outcome.future.get(), AlgorithmLimitError);
+  }
+}
+
+TEST(CoalescerTest, AdmissionBoundRejectsNovelWorkNotFollowers) {
+  RequestCoalescer coalescer(CoalescerConfig{1, 1});
+  std::atomic<bool> release{false};
+  std::atomic<std::size_t> computes{0};
+  const auto slow_compute = [&]() -> CachedCertification {
+    ++computes;
+    EXPECT_TRUE(SpinUntil([&] { return release.load(); }));
+    return MakeValue("slow");
+  };
+  const auto probe = []() -> std::optional<CachedCertification> {
+    return std::nullopt;
+  };
+  const auto make_compute = [&]() -> RequestCoalescer::ComputeFn {
+    return slow_compute;
+  };
+
+  const auto leader = coalescer.Submit(1, "busy", probe, make_compute);
+  ASSERT_EQ(leader.kind, RequestCoalescer::Outcome::Kind::kLeader);
+
+  // A duplicate joins for free while a novel key is turned away.
+  const auto follower = coalescer.Submit(1, "busy", probe, make_compute);
+  EXPECT_EQ(follower.kind, RequestCoalescer::Outcome::Kind::kFollower);
+  const auto rejected = coalescer.Submit(2, "novel", probe, make_compute);
+  EXPECT_EQ(rejected.kind, RequestCoalescer::Outcome::Kind::kRejected);
+
+  release = true;
+  (void)leader.future.get();
+  (void)follower.future.get();
+  ASSERT_TRUE(SpinUntil([&] { return coalescer.Pending() == 0; }));
+
+  // Capacity freed: the novel key is admitted now.
+  const auto retry = coalescer.Submit(2, "novel", probe, make_compute);
+  EXPECT_EQ(retry.kind, RequestCoalescer::Outcome::Kind::kLeader);
+  (void)retry.future.get();
+  EXPECT_EQ(computes.load(), 2u);
+}
+
+// -------------------------------------------------------------- service
+
+TEST(ServiceTest, FlowOrderDoesNotSplitTheCache) {
+  CertificationService service;
+  const NocDesign design = MakeRandomDesign(3);
+
+  // Reverse the flow declaration order (routes follow).
+  NocDesign reversed;
+  reversed.name = design.name;
+  reversed.topology = design.topology;
+  reversed.attachment = design.attachment;
+  for (std::size_t c = 0; c < design.traffic.CoreCount(); ++c) {
+    reversed.traffic.AddCore(design.traffic.CoreName(CoreId(c)));
+  }
+  reversed.routes.Resize(design.traffic.FlowCount());
+  for (std::size_t f = design.traffic.FlowCount(); f-- > 0;) {
+    const Flow& flow = design.traffic.FlowAt(FlowId(f));
+    const FlowId nf =
+        reversed.traffic.AddFlow(flow.src, flow.dst, flow.bandwidth_mbps);
+    reversed.routes.SetRoute(nf, design.routes.RouteOf(FlowId(f)));
+  }
+
+  const CertResponse first = service.Serve(TextRequest("a", design));
+  const CertResponse second = service.Serve(TextRequest("a", reversed));
+  ASSERT_EQ(first.status, ServeStatus::kOk);
+  ASSERT_EQ(second.status, ServeStatus::kOk);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_EQ(second.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(serve::ResponseDigest({first}), serve::ResponseDigest({second}));
+}
+
+TEST(ServiceTest, GeneratorSpecAndRenderedTextConverge) {
+  CertificationService service;
+  gen::GeneratorSpec spec;
+  spec.family = gen::TopologyFamily::kTorus2D;
+  spec.width = 4;
+  spec.height = 4;
+  spec.seed = 11;
+
+  CertRequest by_spec;
+  by_spec.id = "g";
+  by_spec.kind = RequestKind::kGeneratorSpec;
+  by_spec.generator = spec;
+  const CertResponse first = service.Serve(by_spec);
+  ASSERT_EQ(first.status, ServeStatus::kOk);
+  EXPECT_EQ(first.cache_outcome, CacheOutcome::kComputed);
+
+  const CertResponse second =
+      service.Serve(TextRequest("g", gen::GenerateStandardDesign(spec)));
+  ASSERT_EQ(second.status, ServeStatus::kOk);
+  EXPECT_EQ(second.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_EQ(serve::ResponseDigest({first}), serve::ResponseDigest({second}));
+
+  // The torus under removal must have been repaired.
+  EXPECT_TRUE(first.deadlock_free);
+}
+
+TEST(ServiceTest, UntreatedNegativeCertificateIsServedAndCached) {
+  CertificationService service;
+  CertRequest request = TextRequest("ring", MakeRingDesign(6, 2));
+  request.treat = false;
+
+  const CertResponse first = service.Serve(request);
+  ASSERT_EQ(first.status, ServeStatus::kOk);
+  EXPECT_FALSE(first.deadlock_free);
+  EXPECT_EQ(first.vcs_added, 0u);
+  const JsonValue certificate = JsonValue::Parse(first.certificate_json);
+  EXPECT_FALSE(certificate.At("deadlock_free").AsBool());
+  EXPECT_GE(certificate.At("counterexample").Items().size(), 2u);
+
+  const CertResponse second = service.Serve(request);
+  EXPECT_EQ(second.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(serve::ResponseDigest({first}), serve::ResponseDigest({second}));
+}
+
+TEST(ServiceTest, ReturnDesignServesTheRepairedDesign) {
+  CertificationService service;
+  CertRequest request = TextRequest("ring", MakeRingDesign(6, 2));
+  request.return_design = true;
+  const CertResponse response = service.Serve(request);
+  ASSERT_EQ(response.status, ServeStatus::kOk);
+  EXPECT_TRUE(response.deadlock_free);
+  EXPECT_GT(response.vcs_added, 0u);
+  ASSERT_FALSE(response.treated_design_text.empty());
+  // The returned text parses back to a deadlock-free design.
+  std::istringstream in(response.treated_design_text);
+  const NocDesign repaired = ReadDesign(in);
+  EXPECT_TRUE(IsDeadlockFree(repaired));
+  EXPECT_EQ(repaired.topology.ChannelCount(), response.channels_after);
+}
+
+TEST(ServiceTest, ConcurrentDuplicateRequestsShareOneCertifyRun) {
+  constexpr std::size_t kClients = 4;
+  std::atomic<std::size_t> responded{0};
+  std::atomic<std::size_t> certifier_runs{0};
+  ServiceConfig config;
+  config.threads = 2;
+  CertificationService service(
+      config, [&](const NocDesign& canonical, const CertRequest& request) {
+        ++certifier_runs;
+        // Hold the computation open until every client has *submitted*
+        // (the coalescer replies to followers without waiting for
+        // completion, so all four must be in flight together).
+        EXPECT_TRUE(SpinUntil([&] { return responded.load() == kClients; }));
+        return serve::ComputeCertification(canonical, request);
+      });
+
+  const CertRequest request = TextRequest("dup", MakeRandomDesign(8));
+  std::vector<CertResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      // Count this client as soon as its request is guaranteed to be
+      // registered: Serve blocks, so count from a sibling thread is
+      // impossible — instead count *before* serving and let the
+      // certifier wait for all counts plus the registration race to
+      // settle via the coalescer's own registry.
+      ++responded;
+      responses[i] = service.Serve(request);
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+
+  EXPECT_EQ(certifier_runs.load(), 1u);
+  std::size_t computed = 0, coalesced = 0, hits = 0;
+  for (const CertResponse& response : responses) {
+    ASSERT_EQ(response.status, ServeStatus::kOk);
+    computed += response.cache_outcome == CacheOutcome::kComputed;
+    coalesced += response.cache_outcome == CacheOutcome::kCoalesced;
+    hits += response.cache_outcome == CacheOutcome::kHit;
+    EXPECT_EQ(serve::ResponseDigest({response}),
+              serve::ResponseDigest({responses[0]}));
+  }
+  EXPECT_EQ(computed, 1u);
+  EXPECT_EQ(computed + coalesced + hits, kClients);
+  EXPECT_EQ(service.Stats().computations, 1u);
+}
+
+TEST(ServiceTest, BackpressureReturnsOverloadedImmediately) {
+  std::atomic<bool> release{false};
+  std::atomic<bool> computing{false};
+  ServiceConfig config;
+  config.threads = 1;
+  config.max_pending = 1;
+  CertificationService service(
+      config, [&](const NocDesign& canonical, const CertRequest& request) {
+        computing = true;
+        EXPECT_TRUE(SpinUntil([&] { return release.load(); }));
+        return serve::ComputeCertification(canonical, request);
+      });
+
+  const CertRequest busy = TextRequest("busy", MakeRandomDesign(1));
+  const CertRequest novel = TextRequest("novel", MakeRandomDesign(2));
+
+  std::thread blocked([&] {
+    const CertResponse response = service.Serve(busy);
+    EXPECT_EQ(response.status, ServeStatus::kOk);
+  });
+  ASSERT_TRUE(SpinUntil([&] { return computing.load(); }));
+
+  const CertResponse overloaded = service.Serve(novel);
+  EXPECT_EQ(overloaded.status, ServeStatus::kOverloaded);
+  EXPECT_EQ(overloaded.cache_outcome, CacheOutcome::kNone);
+
+  release = true;
+  blocked.join();
+  ASSERT_TRUE(SpinUntil([&] { return service.Stats().pool_backlog == 0; }));
+
+  const CertResponse retry = service.Serve(novel);
+  EXPECT_EQ(retry.status, ServeStatus::kOk);
+  EXPECT_EQ(service.Stats().rejected, 1u);
+}
+
+TEST(ServiceTest, ResponseDigestIsClientThreadCountStable) {
+  // Duplicate-heavy batch across all request kinds.
+  std::vector<CertRequest> batch;
+  const NocDesign a = MakeRandomDesign(4);
+  const NocDesign b = MakeRingDesign(8, 2);
+  for (int round = 0; round < 6; ++round) {
+    batch.push_back(TextRequest("a" + std::to_string(round), a));
+    batch.push_back(TextRequest("b" + std::to_string(round), b));
+    CertRequest source;
+    source.id = "s" + std::to_string(round);
+    source.kind = RequestKind::kSourceSeed;
+    source.source = valid::DesignSource::kMesh;
+    source.seed = 21;
+    batch.push_back(source);
+  }
+
+  std::optional<std::uint64_t> reference;
+  for (const std::size_t clients : {std::size_t{1}, std::size_t{3}}) {
+    ServiceConfig config;
+    config.threads = 2;
+    CertificationService service(config);
+    const std::vector<CertResponse> responses =
+        service.ServeBatch(batch, clients);
+    const serve::ServiceStats stats = service.Stats();
+    // Exactly one computation per distinct problem, at any concurrency.
+    EXPECT_EQ(stats.computations, 3u) << clients << " clients";
+    EXPECT_EQ(stats.requests, batch.size());
+    EXPECT_EQ(stats.hits + stats.coalesced + stats.computations,
+              batch.size());
+    const std::uint64_t digest = serve::ResponseDigest(responses);
+    if (reference.has_value()) {
+      EXPECT_EQ(digest, *reference) << clients << " clients";
+    }
+    reference = digest;
+  }
+}
+
+TEST(ServiceTest, MalformedRequestsAreErrorsAndNeverCached) {
+  CertificationService service;
+  CertRequest request;
+  request.id = "bad";
+  request.kind = RequestKind::kDesignText;
+  request.design_text = "this is not a design";
+  const CertResponse first = service.Serve(request);
+  EXPECT_EQ(first.status, ServeStatus::kError);
+  EXPECT_FALSE(first.error.empty());
+  const CertResponse second = service.Serve(request);
+  EXPECT_EQ(second.status, ServeStatus::kError);
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.computations, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+TEST(ServiceTest, CachedAndRecomputedResponsesAreBitIdentical) {
+  const CertRequest request = TextRequest("x", MakeRandomDesign(9));
+
+  ServiceConfig cold_config;
+  cold_config.cache_enabled = false;
+  CertificationService cold(cold_config);
+  const CertResponse recomputed_a = cold.Serve(request);
+  const CertResponse recomputed_b = cold.Serve(request);
+
+  CertificationService warm;
+  const CertResponse computed = warm.Serve(request);
+  const CertResponse hit = warm.Serve(request);
+  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kHit);
+
+  const std::uint64_t reference = serve::ResponseDigest({recomputed_a});
+  EXPECT_EQ(serve::ResponseDigest({recomputed_b}), reference);
+  EXPECT_EQ(serve::ResponseDigest({computed}), reference);
+  EXPECT_EQ(serve::ResponseDigest({hit}), reference);
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, DesignRequestRoundTrips) {
+  CertRequest request = TextRequest("r1", MakePaperExample().design);
+  request.treat = false;
+  request.return_design = true;
+  request.options.cycle_policy = CyclePolicy::kFirstFound;
+  request.options.max_iterations = 12;
+
+  const CertRequest parsed =
+      serve::ParseRequestLine(serve::RequestToJsonLine(request));
+  EXPECT_EQ(parsed.id, "r1");
+  EXPECT_EQ(parsed.kind, RequestKind::kDesignText);
+  EXPECT_EQ(parsed.design_text, request.design_text);
+  EXPECT_FALSE(parsed.treat);
+  EXPECT_TRUE(parsed.return_design);
+  EXPECT_EQ(parsed.options.cycle_policy, CyclePolicy::kFirstFound);
+  EXPECT_EQ(parsed.options.max_iterations, 12u);
+}
+
+TEST(ProtocolTest, GeneratorAndSourceRequestsRoundTrip) {
+  CertRequest generator;
+  generator.id = "g1";
+  generator.kind = RequestKind::kGeneratorSpec;
+  generator.generator.family = gen::TopologyFamily::kFatTree;
+  generator.generator.tree_arity = 3;
+  generator.generator.pattern = gen::TrafficPattern::kHotspot;
+  generator.generator.hotspot_fraction = 0.5;
+  generator.generator.seed = 99;
+  CertRequest parsed =
+      serve::ParseRequestLine(serve::RequestToJsonLine(generator));
+  EXPECT_EQ(parsed.kind, RequestKind::kGeneratorSpec);
+  EXPECT_EQ(parsed.generator.family, gen::TopologyFamily::kFatTree);
+  EXPECT_EQ(parsed.generator.tree_arity, 3u);
+  EXPECT_EQ(parsed.generator.pattern, gen::TrafficPattern::kHotspot);
+  EXPECT_DOUBLE_EQ(parsed.generator.hotspot_fraction, 0.5);
+  EXPECT_EQ(parsed.generator.seed, 99u);
+
+  CertRequest source;
+  source.id = "s1";
+  source.kind = RequestKind::kSourceSeed;
+  source.source = valid::DesignSource::kTorus;
+  source.seed = 1234567890123456789ull;
+  parsed = serve::ParseRequestLine(serve::RequestToJsonLine(source));
+  EXPECT_EQ(parsed.kind, RequestKind::kSourceSeed);
+  EXPECT_EQ(parsed.source, valid::DesignSource::kTorus);
+  EXPECT_EQ(parsed.seed, 1234567890123456789ull);
+}
+
+TEST(ProtocolTest, RejectsAmbiguousEmptyAndUnknown) {
+  EXPECT_THROW((void)serve::ParseRequestLine("{}"), InvalidModelError);
+  EXPECT_THROW((void)serve::ParseRequestLine(
+                   R"({"design":"noc x","source":"mesh","seed":1})"),
+               InvalidModelError);
+  EXPECT_THROW((void)serve::ParseRequestLine(R"({"source":"nope","seed":1})"),
+               InvalidModelError);
+  EXPECT_THROW((void)serve::ParseRequestLine(
+                   R"({"source":"mesh","seed":1,"options":{"engine":"warp"}})"),
+               InvalidModelError);
+  EXPECT_THROW((void)serve::ParseRequestLine("not json"), InvalidModelError);
+}
+
+TEST(ProtocolTest, ResponseLineEmbedsTheCertificate) {
+  CertificationService service;
+  CertRequest request = TextRequest("r", MakeRingDesign(5, 2));
+  request.return_design = true;
+  const CertResponse response = service.Serve(request);
+  ASSERT_EQ(response.status, ServeStatus::kOk);
+
+  const JsonValue line =
+      JsonValue::Parse(serve::ResponseToJsonLine(response));
+  EXPECT_EQ(line.At("id").AsString(), "r");
+  EXPECT_EQ(line.At("status").AsString(), "ok");
+  EXPECT_EQ(line.At("cache").AsString(), "computed");
+  EXPECT_EQ(line.At("key").AsUint(), response.key);
+  EXPECT_TRUE(line.At("deadlock_free").AsBool());
+  EXPECT_EQ(line.At("vcs_added").AsUint(), response.vcs_added);
+  // The certificate is a real nested object, parseable on its own.
+  EXPECT_EQ(line.At("certificate").kind(), JsonValue::Kind::kObject);
+  const DeadlockCertificate certificate = CertificateFromJson(
+      response.certificate_json);
+  EXPECT_TRUE(certificate.deadlock_free);
+  // The embedded treated design parses.
+  std::istringstream in(line.At("design").AsString());
+  (void)ReadDesign(in);
+}
+
+}  // namespace
+}  // namespace nocdr

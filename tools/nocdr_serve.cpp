@@ -1,0 +1,134 @@
+// nocdr_serve: the certification service on stdin/stdout.
+//
+// Reads line-delimited JSON requests (see src/serve/protocol.h and the
+// README's "Certification service" section), serves them through the
+// in-process CertificationService — sharded certificate cache,
+// single-flight coalescing, bounded admission — and writes one response
+// line per request, in request order. Malformed lines produce an
+// "error" response rather than killing the session.
+//
+//   ./nocdr_serve < examples/serve_requests.jsonl
+//
+// Flags:
+//   --threads N       compute-pool threads, 0 = hardware (default 0)
+//   --shards N        cache shards (default 16)
+//   --cache-entries N cache entry bound (default 4096)
+//   --cache-mb N      cache payload bound in MiB (default 64)
+//   --max-pending N   admission bound on in-flight computations
+//                     (default 1024; excess requests get "overloaded")
+//   --batch N         lines served per pipelined batch (default 4x the
+//                     compute width; 1 = strictly sequential)
+//   --stats           print service counters to stderr at EOF
+//
+// Exit code: 0 on EOF, 2 on bad flags. Request-level failures are
+// responses, not exit codes — a serving process must outlive them.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+using namespace nocdr;
+
+namespace {
+
+struct Options {
+  serve::ServiceConfig service;
+  std::size_t batch = 0;
+  bool stats = false;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opts;
+  bench::FlagParser flags("nocdr_serve");
+  std::size_t cache_mb = 64;
+  flags.AddSize("--threads", &opts.service.threads);
+  flags.AddSize("--shards", &opts.service.cache.shards);
+  flags.AddSize("--cache-entries", &opts.service.cache.max_entries);
+  flags.AddSize("--cache-mb", &cache_mb);
+  flags.AddSize("--max-pending", &opts.service.max_pending);
+  flags.AddSize("--batch", &opts.batch);
+  flags.AddSwitch("--stats", &opts.stats);
+  flags.Parse(argc, argv);
+  opts.service.cache.max_bytes = cache_mb << 20;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = ParseOptions(argc, argv);
+  serve::CertificationService service(opts.service);
+  std::size_t width = opts.service.threads;
+  if (width == 0) {
+    width = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t batch_size = opts.batch != 0 ? opts.batch : 4 * width;
+
+  std::vector<serve::CertRequest> batch;
+  std::vector<std::size_t> bad_lines;  // indices with parse failures
+  std::vector<std::string> bad_errors;
+  std::string line;
+  std::size_t served = 0;
+
+  const auto flush = [&] {
+    // Parse failures become error responses inline; parsable requests
+    // are served as one pipelined batch so duplicates coalesce.
+    const std::vector<serve::CertResponse> responses =
+        service.ServeBatch(batch);
+    std::size_t bad = 0;
+    for (std::size_t i = 0, r = 0; i < batch.size() + bad_lines.size(); ++i) {
+      if (bad < bad_lines.size() && bad_lines[bad] == i) {
+        serve::CertResponse error_response;
+        error_response.status = serve::ServeStatus::kError;
+        error_response.error = bad_errors[bad];
+        std::cout << serve::ResponseToJsonLine(error_response) << "\n";
+        ++bad;
+      } else {
+        std::cout << serve::ResponseToJsonLine(responses[r++]) << "\n";
+      }
+    }
+    std::cout.flush();
+    served += batch.size() + bad_lines.size();
+    batch.clear();
+    bad_lines.clear();
+    bad_errors.clear();
+  };
+
+  std::size_t line_index = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    try {
+      batch.push_back(serve::ParseRequestLine(line));
+    } catch (const std::exception& e) {
+      bad_lines.push_back(line_index);
+      bad_errors.push_back(e.what());
+    }
+    ++line_index;
+    if (line_index >= batch_size) {
+      flush();
+      line_index = 0;
+    }
+  }
+  if (line_index > 0) {
+    flush();
+  }
+
+  if (opts.stats) {
+    const serve::ServiceStats stats = service.Stats();
+    std::cerr << "nocdr_serve: " << served << " served: " << stats.hits
+              << " hits, " << stats.computations << " computed, "
+              << stats.coalesced << " coalesced, " << stats.rejected
+              << " rejected, " << stats.errors << " errors; cache "
+              << stats.cache.entries << " entries / " << stats.cache.bytes
+              << " bytes, " << stats.cache.evictions << " evictions\n";
+  }
+  return 0;
+}
