@@ -163,7 +163,9 @@ std::size_t CountBad(const std::vector<serve::CertResponse>& responses) {
   for (const serve::CertResponse& response : responses) {
     if (response.status != serve::ServeStatus::kOk) {
       std::cout << "BAD RESPONSE (" << serve::StatusName(response.status)
-                << ") id=" << response.id << ": " << response.error << "\n";
+                << ") id=" << response.id << ": "
+                << serve::ErrorCodeName(response.error.code) << ": "
+                << response.error.message << "\n";
       ++bad;
     }
   }

@@ -1,81 +1,153 @@
-// Certification service, in-process: one client session against
-// CertificationService showing the cache and coalescing semantics —
-// a computed miss, a content-addressed hit from a *different* request
-// representation, an untreated negative certificate, and the stats
-// counters a production deployment would scrape.
+// Streaming reconfiguration session, in-process: one client against
+// serve::SessionService showing protocol v2's stateful side — open a
+// design once, stream fault bursts as deltas against the live design
+// and CDG the server maintains, and get a fresh certificate + epoch per
+// burst instead of re-shipping the whole design every time. Ends with a
+// stateless certify against the same CertificationService to show the
+// epoch's published cache entry being hit.
 //
 //   $ ./examples/serve_session
 //
-// The same requests work over stdin/stdout against the nocdr_serve
-// binary; see examples/serve_requests.jsonl and the README.
+// The same messages work over stdin/stdout against the nocdr_serve
+// binary; see examples/serve_session_requests.jsonl and the README's
+// "Streaming reconfiguration sessions" section.
+#include <cstdint>
 #include <iostream>
 
 #include "gen/generators.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
-#include "util/canonical.h"
+#include "serve/session.h"
 #include "util/table.h"
 
 using namespace nocdr;
 
 namespace {
 
-void Show(const std::string& label, const serve::CertResponse& response) {
-  std::cout << label << ": status=" << serve::StatusName(response.status)
-            << " cache=" << serve::CacheOutcomeName(response.cache_outcome)
-            << " deadlock_free=" << (response.deadlock_free ? "yes" : "no")
-            << " vcs_added=" << response.vcs_added << " ("
+void Show(const std::string& label, const serve::SessionResponse& response) {
+  std::cout << label << ": status=" << serve::StatusName(response.status);
+  if (response.status != serve::ServeStatus::kOk) {
+    std::cout << " error=" << serve::ErrorCodeName(response.error.code)
+              << " epoch=" << response.epoch << " (\""
+              << response.error.message << "\")\n";
+    return;
+  }
+  std::cout << " epoch=" << response.epoch;
+  if (response.op == serve::SessionOp::kBurst) {
+    std::cout << " feasible=" << (response.feasible ? "yes" : "no")
+              << " affected=" << response.affected_flows
+              << " detours=" << response.table_detours
+              << " ripups=" << response.ripup_reroutes
+              << " vcs_added=" << response.vcs_added;
+  }
+  std::cout << " key=" << response.key << " ("
             << FormatDouble(response.service_ms, 3) << " ms)\n";
+}
+
+serve::SessionEventSpec LinkDown(const std::string& src,
+                                 const std::string& dst) {
+  serve::SessionEventSpec event;
+  event.kind = fault::FaultKind::kLink;
+  event.src = src;
+  event.dst = dst;
+  return event;
 }
 
 }  // namespace
 
 int main() {
+  // Sessions certify through a CertificationService: every epoch's
+  // certificate is also published into its content-addressed cache, so
+  // stateless clients of the same service hit the session's work.
   serve::CertificationService service;
+  serve::SessionService sessions(service);
 
-  // A deliberately cyclic 6x6 torus under XY routing.
-  gen::GeneratorSpec spec;
-  spec.family = gen::TopologyFamily::kTorus2D;
-  spec.width = 6;
-  spec.height = 6;
-  spec.uniform_fanout = 4;
-  spec.seed = 7;
+  // 1. Open: materialize + treat a 4x4 torus, get the epoch-0
+  //    certificate and a server-assigned session id.
+  serve::SessionRequest open;
+  open.op = serve::SessionOp::kOpen;
+  open.id = "open";
+  open.spec.kind = serve::RequestKind::kGeneratorSpec;
+  open.spec.generator.family = gen::TopologyFamily::kTorus2D;
+  open.spec.generator.width = 4;
+  open.spec.generator.height = 4;
+  open.spec.generator.uniform_fanout = 3;
+  open.spec.generator.seed = 7;
+  const serve::SessionResponse opened = sessions.Handle(open);
+  Show("session_open                  ", opened);
 
-  serve::CertRequest by_spec;
-  by_spec.id = "torus";
-  by_spec.kind = serve::RequestKind::kGeneratorSpec;
-  by_spec.generator = spec;
+  // 2. A link dies. The server re-routes the affected flows, re-treats
+  //    incrementally on the live CDG, re-certifies and advances the
+  //    epoch — the client shipped ~60 bytes, not a design.
+  serve::SessionRequest burst;
+  burst.op = serve::SessionOp::kBurst;
+  burst.id = "b1";
+  burst.session_id = opened.session_id;
+  burst.events = {LinkDown("t0_0", "t1_0")};
+  burst.has_expect_epoch = true;
+  burst.expect_epoch = 0;
+  Show("fault_burst t0_0->t1_0        ", sessions.Handle(burst));
 
-  // 1. First contact: computed (RemoveDeadlocks + certificate).
-  Show("generator spec, first request ", service.Serve(by_spec));
+  // 3. Optimistic concurrency: a second controller still at epoch 0 is
+  //    refused without side effects and told the actual epoch, so it
+  //    can resync without a snapshot round trip.
+  serve::SessionRequest raced = burst;
+  raced.id = "b1-lost-race";
+  raced.events = {LinkDown("t1_0", "t2_0")};
+  Show("fault_burst with stale epoch  ", sessions.Handle(raced));
 
-  // 2. Same problem, different representation: the rendered design text
-  //    content-addresses to the same canonical entry.
-  serve::CertRequest by_text;
-  by_text.id = "torus-as-text";
-  by_text.kind = serve::RequestKind::kDesignText;
-  by_text.design_text = DesignText(gen::GenerateStandardDesign(spec));
-  Show("same design as inline text    ", service.Serve(by_text));
+  // 4. Killing a switch with cores attached would strand its flows:
+  //    infeasibility is an *answer* (status ok, feasible=no, witnesses
+  //    named), the burst is rejected atomically and the epoch holds.
+  serve::SessionRequest fatal;
+  fatal.op = serve::SessionOp::kBurst;
+  fatal.id = "b2-infeasible";
+  fatal.session_id = opened.session_id;
+  fatal.events.emplace_back();
+  fatal.events.back().kind = fault::FaultKind::kSwitch;
+  fatal.events.back().switch_name = "t2_2";
+  const serve::SessionResponse infeasible = sessions.Handle(fatal);
+  Show("fault_burst kills switch t2_2 ", infeasible);
+  std::cout << "  disconnected flows:";
+  for (const std::uint64_t flow : infeasible.disconnected_flows) {
+    std::cout << " " << flow;
+  }
+  std::cout << "\n";
 
-  // 3. Certify-only: the untreated torus is deadlock-prone, and the
-  //    negative certificate carries the CDG-cycle counterexample.
-  serve::CertRequest untreated = by_spec;
-  untreated.id = "torus-untreated";
-  untreated.treat = false;
-  const serve::CertResponse negative = service.Serve(untreated);
-  Show("untreated (certify as-is)     ", negative);
-  std::cout << "  negative certificate: " << negative.certificate_json
+  // 5. Snapshot the current design text + certificate (e.g. to seed a
+  //    stateless re-check elsewhere), then retire the session.
+  serve::SessionRequest snapshot;
+  snapshot.op = serve::SessionOp::kSnapshot;
+  snapshot.id = "snap";
+  snapshot.session_id = opened.session_id;
+  const serve::SessionResponse snapped = sessions.Handle(snapshot);
+  Show("session_snapshot              ", snapped);
+  serve::SessionRequest close;
+  close.op = serve::SessionOp::kClose;
+  close.id = "bye";
+  close.session_id = opened.session_id;
+  Show("session_close                 ", sessions.Handle(close));
+
+  // 6. Cache coherence: a stateless certify of the snapshot's design
+  //    text hits the entry the session published for its last epoch —
+  //    same key, same certificate, no recompute.
+  serve::CertRequest stateless;
+  stateless.id = "post-mortem";
+  stateless.kind = serve::RequestKind::kDesignText;
+  stateless.design_text = snapped.design_text;
+  const serve::CertResponse replay = service.Serve(stateless);
+  std::cout << "stateless replay of snapshot  : cache="
+            << serve::CacheOutcomeName(replay.cache_outcome)
+            << " key=" << replay.key << " certificate_match="
+            << (replay.certificate_json == snapped.certificate_json ? "yes"
+                                                                    : "no")
             << "\n";
 
-  // 4. Exact repeat: the request-fingerprint fast path.
-  Show("exact repeat of request 1     ", service.Serve(by_spec));
-
-  const serve::ServiceStats stats = service.Stats();
-  std::cout << "\nservice stats: " << stats.requests << " requests, "
-            << stats.hits << " hits, " << stats.computations
-            << " computed, " << stats.coalesced << " coalesced, "
-            << stats.errors << " errors\n"
-            << "certificate cache: " << stats.cache.entries << " entries, "
-            << stats.cache.bytes << " bytes\n";
+  const serve::SessionServiceStats stats = sessions.Stats();
+  std::cout << "\nsession stats: " << stats.opened << " opened, "
+            << stats.closed << " closed, " << stats.bursts_applied
+            << " bursts applied, " << stats.bursts_infeasible
+            << " infeasible, " << stats.epochs_served
+            << " epochs served, " << stats.errors << " errors\n";
   return 0;
 }

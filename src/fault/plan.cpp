@@ -249,4 +249,49 @@ std::string Describe(const FaultEvent& event, const NocDesign& design) {
   return "link " + label(link.src) + "->" + label(link.dst);
 }
 
+namespace {
+
+std::optional<SwitchId> FindSwitchByName(const NocDesign& design,
+                                         const std::string& name) {
+  for (std::size_t s = 0; s < design.topology.SwitchCount(); ++s) {
+    const SwitchId id{s};
+    if (design.topology.SwitchName(id) == name) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<FaultEvent> MakeLinkFault(const NocDesign& design,
+                                        const std::string& src_switch,
+                                        const std::string& dst_switch) {
+  const auto src = FindSwitchByName(design, src_switch);
+  const auto dst = FindSwitchByName(design, dst_switch);
+  if (!src || !dst) {
+    return std::nullopt;
+  }
+  const auto link = design.topology.FindLink(*src, *dst);
+  if (!link) {
+    return std::nullopt;
+  }
+  FaultEvent event;
+  event.kind = FaultKind::kLink;
+  event.link = *link;
+  return event;
+}
+
+std::optional<FaultEvent> MakeSwitchFault(const NocDesign& design,
+                                          const std::string& switch_name) {
+  const auto id = FindSwitchByName(design, switch_name);
+  if (!id) {
+    return std::nullopt;
+  }
+  FaultEvent event;
+  event.kind = FaultKind::kSwitch;
+  event.switch_id = *id;
+  return event;
+}
+
 }  // namespace nocdr::fault

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -98,5 +99,18 @@ FaultPlan DrawFaultPlan(const NocDesign& design, std::uint64_t seed,
 
 /// Human-readable one-liner, e.g. "link SW2->SW5" or "switch SW3".
 std::string Describe(const FaultEvent& event, const NocDesign& design);
+
+/// Resolves a link failure named by (src, dst) switch names — the form
+/// the serve protocol's fault_burst events arrive in. nullopt when a
+/// name is unknown or no such directed link exists. Switch and link ids
+/// are stable across design canonicalization, so an event resolved on
+/// any rendering of the design names the same element.
+std::optional<FaultEvent> MakeLinkFault(const NocDesign& design,
+                                        const std::string& src_switch,
+                                        const std::string& dst_switch);
+
+/// Resolves a switch failure by name; nullopt when unknown.
+std::optional<FaultEvent> MakeSwitchFault(const NocDesign& design,
+                                          const std::string& switch_name);
 
 }  // namespace nocdr::fault

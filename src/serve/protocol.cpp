@@ -152,6 +152,13 @@ gen::GeneratorSpec ParseGenerator(const JsonValue& json) {
   return spec;
 }
 
+/// The {"code":...,"message":...} object every failure response embeds.
+JsonObject ErrorToJson(const ErrorInfo& error) {
+  JsonObject json;
+  json.Set("code", ErrorCodeName(error.code)).Set("message", error.message);
+  return json;
+}
+
 JsonObject GeneratorToJson(const gen::GeneratorSpec& spec) {
   JsonObject json;
   json.Set("family", gen::FamilyName(spec.family))
@@ -171,40 +178,58 @@ JsonObject GeneratorToJson(const gen::GeneratorSpec& spec) {
   return json;
 }
 
-}  // namespace
-
-CertRequest ParseRequestLine(const std::string& line) {
-  const JsonValue json = JsonValue::Parse(line);
-  CertRequest request;
-  if (const JsonValue* value = json.Find("id")) {
-    request.id = value->AsString();
-  }
-
+/// The design-naming block shared by v1/v2 certify and session_open: a
+/// message names exactly one of "design", "generator" or "source".
+void ParseDesignSpec(const JsonValue& json, DesignSpec& spec) {
   int source_fields = 0;
   if (const JsonValue* value = json.Find("design")) {
-    request.kind = RequestKind::kDesignText;
-    request.design_text = value->AsString();
+    spec.kind = RequestKind::kDesignText;
+    spec.design_text = value->AsString();
     ++source_fields;
   }
   if (const JsonValue* value = json.Find("generator")) {
-    request.kind = RequestKind::kGeneratorSpec;
-    request.generator = ParseGenerator(*value);
+    spec.kind = RequestKind::kGeneratorSpec;
+    spec.generator = ParseGenerator(*value);
     ++source_fields;
   }
   if (const JsonValue* value = json.Find("source")) {
-    request.kind = RequestKind::kSourceSeed;
+    spec.kind = RequestKind::kSourceSeed;
     const std::string source_name = value->AsString();
     const auto source = valid::ParseSource(source_name);
     Require(source.has_value(), "ParseRequestLine: unknown design source \"" +
                                     source_name + "\"");
-    request.source = *source;
-    request.seed = json.At("seed").AsUint();
+    spec.source = *source;
+    spec.seed = json.At("seed").AsUint();
     ++source_fields;
   }
   Require(source_fields == 1,
           "ParseRequestLine: a request needs exactly one of \"design\", "
           "\"generator\" or \"source\"");
+}
 
+/// Renders the design-naming block (inverse of ParseDesignSpec).
+void DesignSpecToJson(const DesignSpec& spec, JsonObject& json) {
+  switch (spec.kind) {
+    case RequestKind::kDesignText:
+      json.Set("design", spec.design_text);
+      break;
+    case RequestKind::kGeneratorSpec:
+      json.SetRaw("generator", GeneratorToJson(spec.generator).Dump());
+      break;
+    case RequestKind::kSourceSeed:
+      json.Set("source", valid::SourceName(spec.source))
+          .Set("seed", spec.seed);
+      break;
+  }
+}
+
+CertRequest ParseCertify(const JsonValue& json, int protocol_version) {
+  CertRequest request;
+  request.protocol_version = protocol_version;
+  if (const JsonValue* value = json.Find("id")) {
+    request.id = value->AsString();
+  }
+  ParseDesignSpec(json, request);
   if (const JsonValue* value = json.Find("options")) {
     request.options = ParseOptions(*value);
   }
@@ -217,23 +242,135 @@ CertRequest ParseRequestLine(const std::string& line) {
   return request;
 }
 
+SessionEventSpec ParseEvent(const JsonValue& json) {
+  SessionEventSpec event;
+  const std::string kind = json.At("kind").AsString();
+  if (kind == "link") {
+    event.kind = fault::FaultKind::kLink;
+    event.src = json.At("src").AsString();
+    event.dst = json.At("dst").AsString();
+  } else if (kind == "switch") {
+    event.kind = fault::FaultKind::kSwitch;
+    event.switch_name = json.At("switch").AsString();
+  } else {
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        "ParseMessageLine: unknown event kind \"" + kind +
+                            "\" (want \"link\" or \"switch\")");
+  }
+  return event;
+}
+
+SessionRequest ParseSession(const JsonValue& json, SessionOp op,
+                            int protocol_version) {
+  SessionRequest request;
+  request.protocol_version = protocol_version;
+  request.op = op;
+  if (const JsonValue* value = json.Find("id")) {
+    request.id = value->AsString();
+  }
+  if (op == SessionOp::kOpen) {
+    ParseDesignSpec(json, request.spec);
+    if (const JsonValue* value = json.Find("options")) {
+      request.options = ParseOptions(*value);
+    }
+  } else {
+    request.session_id = json.At("session").AsString();
+  }
+  if (op == SessionOp::kBurst) {
+    if (const JsonValue* value = json.Find("expect_epoch")) {
+      request.has_expect_epoch = true;
+      request.expect_epoch = value->AsUint();
+    }
+    for (const JsonValue& item : json.At("events").Items()) {
+      request.events.push_back(ParseEvent(item));
+    }
+  }
+  if (const JsonValue* value = json.Find("return_design")) {
+    request.return_design = value->AsBool();
+  }
+  return request;
+}
+
+int ParseVersion(const JsonValue& json) {
+  const JsonValue* value = json.Find("protocol_version");
+  if (value == nullptr) {
+    return kProtocolV1;
+  }
+  const std::uint64_t version = value->AsUint();
+  if (version != static_cast<std::uint64_t>(kProtocolV1) &&
+      version != static_cast<std::uint64_t>(kProtocolV2)) {
+    throw ProtocolError(ErrorCode::kUnsupportedVersion,
+                        "this server speaks protocol versions 1 and 2, not " +
+                            std::to_string(version));
+  }
+  return static_cast<int>(version);
+}
+
+ServeMessage ParseMessageInner(const std::string& line) {
+  const JsonValue json = JsonValue::Parse(line);
+  const int version = ParseVersion(json);
+  const JsonValue* type_value = json.Find("type");
+  ServeMessage message;
+  if (version == kProtocolV1) {
+    Require(type_value == nullptr,
+            "ParseMessageLine: \"type\" requires \"protocol_version\":2");
+    message.certify = ParseCertify(json, version);
+    return message;
+  }
+  const std::string type =
+      type_value == nullptr ? "certify" : type_value->AsString();
+  if (type == "certify") {
+    message.certify = ParseCertify(json, version);
+    return message;
+  }
+  message.is_session = true;
+  if (type == "session_open") {
+    message.session = ParseSession(json, SessionOp::kOpen, version);
+  } else if (type == "fault_burst") {
+    message.session = ParseSession(json, SessionOp::kBurst, version);
+  } else if (type == "session_snapshot") {
+    message.session = ParseSession(json, SessionOp::kSnapshot, version);
+  } else if (type == "session_close") {
+    message.session = ParseSession(json, SessionOp::kClose, version);
+  } else {
+    throw ProtocolError(ErrorCode::kUnknownType,
+                        "unknown v2 message type \"" + type + "\"");
+  }
+  return message;
+}
+
+}  // namespace
+
+ServeMessage ParseMessageLine(const std::string& line) {
+  try {
+    return ParseMessageInner(line);
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+  }
+}
+
+CertRequest ParseRequestLine(const std::string& line) {
+  ServeMessage message = ParseMessageLine(line);
+  if (message.is_session) {
+    throw ProtocolError(
+        ErrorCode::kInvalidRequest,
+        "ParseRequestLine: a session message needs ParseMessageLine");
+  }
+  return message.certify;
+}
+
 std::string RequestToJsonLine(const CertRequest& request) {
   JsonObject json;
+  json.Set("protocol_version", request.protocol_version);
+  if (request.protocol_version >= kProtocolV2) {
+    json.Set("type", "certify");
+  }
   if (!request.id.empty()) {
     json.Set("id", request.id);
   }
-  switch (request.kind) {
-    case RequestKind::kDesignText:
-      json.Set("design", request.design_text);
-      break;
-    case RequestKind::kGeneratorSpec:
-      json.SetRaw("generator", GeneratorToJson(request.generator).Dump());
-      break;
-    case RequestKind::kSourceSeed:
-      json.Set("source", valid::SourceName(request.source))
-          .Set("seed", request.seed);
-      break;
-  }
+  DesignSpecToJson(request, json);
   JsonObject options;
   options.Set("cycle_policy", CyclePolicyName(request.options.cycle_policy))
       .Set("direction", DirectionName(request.options.direction_policy))
@@ -273,17 +410,13 @@ std::string CacheOutcomeName(CacheOutcome outcome) {
 
 std::string ResponseToJsonLine(const CertResponse& response) {
   JsonObject json;
+  json.Set("protocol_version", response.protocol_version);
   if (!response.id.empty()) {
     json.Set("id", response.id);
   }
   json.Set("status", StatusName(response.status));
-  if (response.status == ServeStatus::kError) {
-    json.Set("error", response.error);
-    json.Set("cache", CacheOutcomeName(response.cache_outcome))
-        .Set("service_ms", response.service_ms);
-    return json.Dump();
-  }
-  if (response.status == ServeStatus::kOverloaded) {
+  if (response.status != ServeStatus::kOk) {
+    json.SetRaw("error", ErrorToJson(response.error).Dump());
     json.Set("cache", CacheOutcomeName(response.cache_outcome))
         .Set("service_ms", response.service_ms);
     return json.Dump();
@@ -303,6 +436,195 @@ std::string ResponseToJsonLine(const CertResponse& response) {
   json.Set("cache", CacheOutcomeName(response.cache_outcome))
       .Set("service_ms", response.service_ms);
   return json.Dump();
+}
+
+std::string SessionOpName(SessionOp op) {
+  switch (op) {
+    case SessionOp::kOpen:
+      return "session_open";
+    case SessionOp::kBurst:
+      return "fault_burst";
+    case SessionOp::kSnapshot:
+      return "session_snapshot";
+    case SessionOp::kClose:
+      return "session_close";
+  }
+  return "unknown";
+}
+
+ErrorCode ParseErrorCode(const std::string& name) {
+  for (const ErrorCode code :
+       {ErrorCode::kNone, ErrorCode::kInvalidRequest,
+        ErrorCode::kUnsupportedVersion, ErrorCode::kUnknownType,
+        ErrorCode::kUnknownSession, ErrorCode::kStaleEpoch,
+        ErrorCode::kSessionLimit, ErrorCode::kOverloaded,
+        ErrorCode::kComputeFailed, ErrorCode::kInternal}) {
+    if (ErrorCodeName(code) == name) {
+      return code;
+    }
+  }
+  throw ProtocolError(ErrorCode::kInvalidRequest,
+                      "unknown error code \"" + name + "\"");
+}
+
+std::string SessionRequestToJsonLine(const SessionRequest& request) {
+  JsonObject json;
+  json.Set("protocol_version", request.protocol_version)
+      .Set("type", SessionOpName(request.op));
+  if (!request.id.empty()) {
+    json.Set("id", request.id);
+  }
+  if (request.op == SessionOp::kOpen) {
+    DesignSpecToJson(request.spec, json);
+    JsonObject options;
+    options.Set("cycle_policy", CyclePolicyName(request.options.cycle_policy))
+        .Set("direction", DirectionName(request.options.direction_policy))
+        .Set("engine", EngineName(request.options.engine))
+        .Set("duplication", DuplicationName(request.options.duplication))
+        .Set("max_iterations", request.options.max_iterations);
+    json.SetRaw("options", options.Dump());
+  } else {
+    json.Set("session", request.session_id);
+  }
+  if (request.op == SessionOp::kBurst) {
+    if (request.has_expect_epoch) {
+      json.Set("expect_epoch", request.expect_epoch);
+    }
+    std::string events = "[";
+    for (std::size_t i = 0; i < request.events.size(); ++i) {
+      const SessionEventSpec& event = request.events[i];
+      JsonObject item;
+      if (event.kind == fault::FaultKind::kLink) {
+        item.Set("kind", "link").Set("src", event.src).Set("dst", event.dst);
+      } else {
+        item.Set("kind", "switch").Set("switch", event.switch_name);
+      }
+      if (i != 0) {
+        events += ",";
+      }
+      events += item.Dump();
+    }
+    events += "]";
+    json.SetRaw("events", events);
+  }
+  if (request.op == SessionOp::kOpen || request.op == SessionOp::kBurst) {
+    json.Set("return_design", request.return_design);
+  }
+  return json.Dump();
+}
+
+std::string SessionResponseToJsonLine(const SessionResponse& response) {
+  JsonObject json;
+  json.Set("protocol_version", response.protocol_version)
+      .Set("type", SessionOpName(response.op));
+  if (!response.id.empty()) {
+    json.Set("id", response.id);
+  }
+  if (!response.session_id.empty()) {
+    json.Set("session", response.session_id);
+  }
+  json.Set("status", StatusName(response.status));
+  if (response.status != ServeStatus::kOk) {
+    json.SetRaw("error", ErrorToJson(response.error).Dump());
+    if (response.error.code == ErrorCode::kStaleEpoch) {
+      // The one error that carries state: the session's actual epoch,
+      // so an optimistic client can resync without a snapshot.
+      json.Set("epoch", response.epoch);
+    }
+    json.Set("service_ms", response.service_ms);
+    return json.Dump();
+  }
+  json.Set("epoch", response.epoch);
+  if (response.op == SessionOp::kBurst) {
+    json.Set("feasible", response.feasible);
+    if (!response.feasible) {
+      std::string flows = "[";
+      for (std::size_t i = 0; i < response.disconnected_flows.size(); ++i) {
+        if (i != 0) {
+          flows += ",";
+        }
+        flows += std::to_string(response.disconnected_flows[i]);
+      }
+      flows += "]";
+      json.SetRaw("disconnected_flows", flows);
+    }
+    json.Set("affected_flows", response.affected_flows)
+        .Set("table_detours", response.table_detours)
+        .Set("ripup_reroutes", response.ripup_reroutes);
+  }
+  if (response.op == SessionOp::kOpen || response.op == SessionOp::kBurst) {
+    json.Set("removal_iterations", response.removal_iterations)
+        .Set("vcs_added", response.vcs_added)
+        .Set("flows_rerouted", response.flows_rerouted);
+  }
+  if (response.op != SessionOp::kClose) {
+    json.Set("channels", response.channels)
+        .Set("key", response.key)
+        .Set("deadlock_free", response.deadlock_free);
+    if (!response.certificate_json.empty()) {
+      json.SetRaw("certificate", response.certificate_json);
+    }
+  }
+  if (!response.design_text.empty()) {
+    json.Set("design", response.design_text);
+  }
+  if (response.op == SessionOp::kSnapshot || response.op == SessionOp::kClose) {
+    json.Set("failed_links", response.failed_links)
+        .Set("failed_switches", response.failed_switches)
+        .Set("bursts_applied", response.bursts_applied);
+  }
+  if (response.op == SessionOp::kOpen) {
+    json.Set("cache", CacheOutcomeName(response.cache_outcome));
+  }
+  json.Set("service_ms", response.service_ms);
+  return json.Dump();
+}
+
+std::string ErrorResponseLine(int protocol_version, const std::string& id,
+                              ErrorCode code, const std::string& message) {
+  JsonObject json;
+  json.Set("protocol_version", protocol_version);
+  if (!id.empty()) {
+    json.Set("id", id);
+  }
+  json.Set("status", StatusName(ServeStatus::kError));
+  json.SetRaw("error", ErrorToJson(ErrorInfo{code, message}).Dump());
+  return json.Dump();
+}
+
+std::string ServeDispatcher::Handle(const ServeMessage& message) {
+  if (message.is_session) {
+    return SessionResponseToJsonLine(sessions_.Handle(message.session));
+  }
+  return ResponseToJsonLine(service_.Serve(message.certify));
+}
+
+std::string ServeDispatcher::HandleLine(const std::string& line) {
+  try {
+    return Handle(ParseMessageLine(line));
+  } catch (const ProtocolError& e) {
+    // Best-effort echo of version and id so the client can correlate
+    // the failure; the line may be arbitrarily malformed.
+    int version = kProtocolV1;
+    std::string id;
+    try {
+      const JsonValue json = JsonValue::Parse(line);
+      if (const JsonValue* value = json.Find("protocol_version")) {
+        const std::uint64_t v = value->AsUint();
+        if (v == static_cast<std::uint64_t>(kProtocolV2)) {
+          version = kProtocolV2;
+        }
+      }
+      if (const JsonValue* value = json.Find("id")) {
+        id = value->AsString();
+      }
+    } catch (const std::exception&) {
+      // Unparseable line: v1, no id.
+    }
+    return ErrorResponseLine(version, id, e.code(), e.what());
+  } catch (const std::exception& e) {
+    return ErrorResponseLine(kProtocolV1, "", ErrorCode::kInternal, e.what());
+  }
 }
 
 }  // namespace nocdr::serve

@@ -29,30 +29,124 @@
 //    "service_ms":0.04}
 //
 // status is "ok", "overloaded" (admission bound hit — retry later) or
-// "error" (malformed request / failed computation, with "error" text).
+// "error"; failures carry a structured error object
+// {"code":"invalid_request","message":"..."} shared by both protocol
+// versions (codes: see serve/service.h ErrorCode).
+//
+// Protocol v2 (explicit {"protocol_version":2}) adds typed messages.
+// "type":"certify" is the stateless request above; the other four types
+// drive stateful sessions (serve/session.h):
+//
+//   {"protocol_version":2,"type":"session_open","id":"c1",
+//    "generator":{...},"options":{...},"return_design":true}
+//   {"protocol_version":2,"type":"fault_burst","id":"c2","session":"s1",
+//    "expect_epoch":0,
+//    "events":[{"kind":"link","src":"sw_0_0","dst":"sw_0_1"},
+//              {"kind":"switch","switch":"sw_1_1"}]}
+//   {"protocol_version":2,"type":"session_snapshot","id":"c3","session":"s1"}
+//   {"protocol_version":2,"type":"session_close","id":"c4","session":"s1"}
+//
+// Session responses echo the message type and carry the session id,
+// epoch number, the delta fields of the operation and the epoch's
+// certificate + content-addressed key. Requests without a
+// protocol_version field are v1; v1 requests must not carry "type".
+// The README's "Streaming reconfiguration sessions" section documents
+// the full grammar.
 #pragma once
 
 #include <string>
 
 #include "serve/service.h"
+#include "serve/session.h"
+#include "util/error.h"
 
 namespace nocdr::serve {
 
-/// Parses one request line. Throws InvalidModelError on malformed JSON,
-/// unknown fields values, or a request that names zero or several
-/// design sources.
+/// What ParseMessageLine and the dispatcher throw: an InvalidModelError
+/// that knows its protocol error code, so malformed lines become
+/// structured-error responses instead of free text.
+class ProtocolError : public InvalidModelError {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : InvalidModelError(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One parsed protocol line of either version: a stateless certify
+/// request or a session message.
+struct ServeMessage {
+  bool is_session = false;
+  CertRequest certify;     // valid iff !is_session
+  SessionRequest session;  // valid iff is_session
+};
+
+/// Parses one line of either protocol version. Throws ProtocolError on
+/// malformed JSON or fields (kInvalidRequest), a protocol_version the
+/// server does not speak (kUnsupportedVersion) or an unknown v2 message
+/// type (kUnknownType).
+ServeMessage ParseMessageLine(const std::string& line);
+
+/// Parses one *stateless* request line (either version). Throws
+/// ProtocolError; a v2 session message is kInvalidRequest here.
 CertRequest ParseRequestLine(const std::string& line);
 
 /// Renders \p request as one protocol line (inverse of
-/// ParseRequestLine up to field order and JSON escaping).
+/// ParseRequestLine up to field order and JSON escaping). v2 requests
+/// carry "type":"certify".
 std::string RequestToJsonLine(const CertRequest& request);
 
 /// Renders \p response as one protocol line.
 std::string ResponseToJsonLine(const CertResponse& response);
 
+/// Renders \p request as one v2 protocol line (inverse of
+/// ParseMessageLine for session messages).
+std::string SessionRequestToJsonLine(const SessionRequest& request);
+
+/// Renders \p response as one v2 protocol line.
+std::string SessionResponseToJsonLine(const SessionResponse& response);
+
+/// Renders the structured-error response line a malformed input line
+/// gets: {"protocol_version":V,"id":...,"status":"error",
+/// "error":{"code":...,"message":...}}.
+std::string ErrorResponseLine(int protocol_version, const std::string& id,
+                              ErrorCode code, const std::string& message);
+
 /// Stable names used by the protocol ("ok" / "overloaded" / "error",
 /// "hit" / "computed" / "coalesced" / "none").
 std::string StatusName(ServeStatus status);
 std::string CacheOutcomeName(CacheOutcome outcome);
+
+/// Stable v2 message-type names ("certify", "session_open",
+/// "fault_burst", "session_snapshot", "session_close").
+std::string SessionOpName(SessionOp op);
+
+/// Inverse of ErrorCodeName (serve/service.h); nullopt-free: throws
+/// ProtocolError(kInvalidRequest) on an unknown name.
+ErrorCode ParseErrorCode(const std::string& name);
+
+/// Routes parsed messages to a CertificationService (stateless
+/// certify) and a SessionService (session ops); the one-stop line
+/// handler a server loop needs.
+class ServeDispatcher {
+ public:
+  ServeDispatcher(CertificationService& service, SessionService& sessions)
+      : service_(service), sessions_(sessions) {}
+
+  /// Parses, routes and serves one protocol line of either version.
+  /// Malformed lines become structured-error response lines; this never
+  /// throws.
+  std::string HandleLine(const std::string& line);
+
+  /// Serves one pre-parsed message.
+  std::string Handle(const ServeMessage& message);
+
+ private:
+  CertificationService& service_;
+  SessionService& sessions_;
+};
 
 }  // namespace nocdr::serve

@@ -98,6 +98,10 @@ std::uint64_t FingerprintDigest(const std::string& fingerprint) {
   return h;
 }
 
+ErrorInfo MakeError(ErrorCode code, std::string message) {
+  return ErrorInfo{code, std::move(message)};
+}
+
 void FillPayload(CertResponse& response, const CachedCertification& value,
                  const CertRequest& request) {
   response.status = ServeStatus::kOk;
@@ -116,20 +120,52 @@ void FillPayload(CertResponse& response, const CachedCertification& value,
 
 }  // namespace
 
-NocDesign MaterializeRequestDesign(const CertRequest& request,
-                                   const valid::DesignEnvelope& envelope) {
-  switch (request.kind) {
+std::string ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "none";
+    case ErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported_version";
+    case ErrorCode::kUnknownType:
+      return "unknown_type";
+    case ErrorCode::kUnknownSession:
+      return "unknown_session";
+    case ErrorCode::kStaleEpoch:
+      return "stale_epoch";
+    case ErrorCode::kSessionLimit:
+      return "session_limit";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kComputeFailed:
+      return "compute_failed";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+NocDesign MaterializeDesign(const DesignSpec& spec,
+                            const valid::DesignEnvelope& envelope,
+                            NextHopTable* table_out) {
+  switch (spec.kind) {
     case RequestKind::kDesignText: {
-      std::istringstream in(request.design_text);
+      // Inline text carries routes but no next-hop table; fault detours
+      // on such designs take the rip-up-and-reroute fallback.
+      if (table_out != nullptr) {
+        table_out->clear();
+      }
+      std::istringstream in(spec.design_text);
       return ReadDesign(in);
     }
     case RequestKind::kGeneratorSpec:
-      return gen::GenerateStandardDesign(request.generator);
+      return gen::GenerateStandardDesign(spec.generator, table_out);
     case RequestKind::kSourceSeed:
-      return valid::GenerateTrialDesign(request.source, request.seed,
-                                        envelope);
+      return valid::GenerateTrialDesign(spec.source, spec.seed, envelope,
+                                        table_out);
   }
-  throw InvalidModelError("MaterializeRequestDesign: unknown request kind");
+  throw InvalidModelError("MaterializeDesign: unknown request kind");
 }
 
 CachedCertification ComputeCertification(const NocDesign& canonical_design,
@@ -167,7 +203,8 @@ CertificationService::CertificationService(ServiceConfig config,
   }
 }
 
-CertResponse CertificationService::Serve(const CertRequest& request) {
+CertResponse CertificationService::Guarded(
+    const CertRequest& request, const std::function<CertResponse()>& inner) {
   const auto t0 = std::chrono::steady_clock::now();
   CertResponse response;
   // Request failures are responses, never escaping exceptions: Serve is
@@ -176,19 +213,22 @@ CertResponse CertificationService::Serve(const CertRequest& request) {
   // allocation failure outside the inner try blocks) may throw types
   // the inner handlers don't cover.
   try {
-    response = ServeInner(request);
+    response = inner();
   } catch (const std::exception& e) {
     response = CertResponse{};
+    response.protocol_version = request.protocol_version;
     response.id = request.id;
     response.status = ServeStatus::kError;
-    response.error = e.what();
+    response.error = MakeError(ErrorCode::kInternal, e.what());
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.errors;
   } catch (...) {
     response = CertResponse{};
+    response.protocol_version = request.protocol_version;
     response.id = request.id;
     response.status = ServeStatus::kError;
-    response.error = "unknown non-standard exception";
+    response.error =
+        MakeError(ErrorCode::kInternal, "unknown non-standard exception");
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.errors;
   }
@@ -196,8 +236,26 @@ CertResponse CertificationService::Serve(const CertRequest& request) {
   return response;
 }
 
+CertResponse CertificationService::Serve(const CertRequest& request) {
+  return Guarded(request, [&] { return ServeInner(request); });
+}
+
+CertResponse CertificationService::ServeDesign(const NocDesign& design,
+                                               const CertRequest& request) {
+  return Guarded(request, [&] {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests;
+    }
+    // No raw request bytes exist for an in-memory design, so there is
+    // no fingerprint to memoize; the canonical cache still dedups.
+    return ServeMaterialized(design, request, {}, 0);
+  });
+}
+
 CertResponse CertificationService::ServeInner(const CertRequest& request) {
   CertResponse response;
+  response.protocol_version = request.protocol_version;
   response.id = request.id;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -230,15 +288,35 @@ CertResponse CertificationService::ServeInner(const CertRequest& request) {
     }
   }
 
-  CanonicalDesign canonical;
+  NocDesign design;
   try {
-    canonical =
-        CanonicalizeDesign(MaterializeRequestDesign(request, config_.envelope));
+    design = MaterializeDesign(request, config_.envelope);
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.errors;
     response.status = ServeStatus::kError;
-    response.error = e.what();
+    response.error = MakeError(ErrorCode::kInvalidRequest, e.what());
+    return response;
+  }
+  return ServeMaterialized(design, request, std::move(fingerprint),
+                           fingerprint_digest);
+}
+
+CertResponse CertificationService::ServeMaterialized(
+    const NocDesign& design, const CertRequest& request,
+    std::string fingerprint, std::uint64_t fingerprint_digest) {
+  CertResponse response;
+  response.protocol_version = request.protocol_version;
+  response.id = request.id;
+
+  CanonicalDesign canonical;
+  try {
+    canonical = CanonicalizeDesign(design);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+    response.status = ServeStatus::kError;
+    response.error = MakeError(ErrorCode::kInvalidRequest, e.what());
     return response;
   }
   response.key =
@@ -258,16 +336,18 @@ CertResponse CertificationService::ServeInner(const CertRequest& request) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.errors;
       response.status = ServeStatus::kError;
-      response.error = e.what();
+      response.error = MakeError(ErrorCode::kComputeFailed, e.what());
     }
     return response;
   }
 
   // Remember how this exact request resolves, so its next repeat takes
-  // the front fast path.
+  // the front fast path. ServeDesign requests have no fingerprint.
   const auto publish_front = [&] {
-    front_.Insert(fingerprint_digest, std::move(fingerprint),
-                  FrontTarget{response.key, key_text});
+    if (!fingerprint.empty()) {
+      front_.Insert(fingerprint_digest, std::move(fingerprint),
+                    FrontTarget{response.key, key_text});
+    }
   };
 
   // Fast path: a sharded, counted lookup with no global serialization.
@@ -313,6 +393,8 @@ CertResponse CertificationService::ServeInner(const CertRequest& request) {
     }
     case RequestCoalescer::Outcome::Kind::kRejected: {
       response.status = ServeStatus::kOverloaded;
+      response.error = MakeError(ErrorCode::kOverloaded,
+                                 "admission bound full; retry later");
       response.cache_outcome = CacheOutcome::kNone;
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.rejected;
@@ -334,7 +416,7 @@ CertResponse CertificationService::ServeInner(const CertRequest& request) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.errors;
         response.status = ServeStatus::kError;
-        response.error = e.what();
+        response.error = MakeError(ErrorCode::kComputeFailed, e.what());
       }
       return response;
     }
@@ -367,9 +449,11 @@ ServiceStats CertificationService::Stats() const {
 std::uint64_t ResponseDigest(const std::vector<CertResponse>& responses) {
   std::uint64_t h = kFnvOffsetBasis;
   for (const CertResponse& response : responses) {
+    DigestField(h, static_cast<std::uint64_t>(response.protocol_version));
     DigestField(h, response.id);
     DigestField(h, static_cast<std::uint64_t>(response.status));
-    DigestField(h, response.error);
+    DigestField(h, static_cast<std::uint64_t>(response.error.code));
+    DigestField(h, response.error.message);
     DigestField(h, response.key);
     DigestField(h, static_cast<std::uint64_t>(response.deadlock_free));
     DigestField(h,

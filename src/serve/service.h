@@ -51,15 +51,23 @@
 
 namespace nocdr::serve {
 
+/// The protocol versions this service speaks. v1 is the original
+/// stateless request/response pairs; v2 adds typed messages and
+/// stateful sessions (serve/session.h). Requests without an explicit
+/// protocol_version field are v1.
+inline constexpr int kProtocolV1 = 1;
+inline constexpr int kProtocolV2 = 2;
+
 enum class RequestKind {
   kDesignText,     // inline noc/io design text
   kGeneratorSpec,  // standard-topology generator parameterization
   kSourceSeed,     // campaign design source + seed (all five sources)
 };
 
-struct CertRequest {
-  /// Echoed verbatim in the response; empty is fine.
-  std::string id;
+/// The three ways a request (stateless certify or session_open) names a
+/// design. One struct so stateless serves and sessions share exactly
+/// one materialization path (MaterializeDesign below).
+struct DesignSpec {
   RequestKind kind = RequestKind::kDesignText;
 
   std::string design_text;                 // kDesignText
@@ -67,6 +75,13 @@ struct CertRequest {
   valid::DesignSource source =
       valid::DesignSource::kSynthesized;   // kSourceSeed
   std::uint64_t seed = 0;                  // kSourceSeed
+};
+
+struct CertRequest : DesignSpec {
+  /// Echoed in the response. Requests parsed without the field are v1.
+  int protocol_version = kProtocolV1;
+  /// Echoed verbatim in the response; empty is fine.
+  std::string id;
 
   /// Removal options applied when \p treat is true. engine is accepted
   /// but does not split the cache (both engines are bit-identical).
@@ -84,6 +99,34 @@ enum class ServeStatus {
   kError,       // malformed request or failed computation
 };
 
+/// Machine-readable failure classification, shared by protocol v1 and
+/// v2. A response's error field is meaningful iff status != kOk.
+enum class ErrorCode {
+  kNone = 0,
+  kInvalidRequest,      // malformed JSON, fields, design text or spec
+  kUnsupportedVersion,  // protocol_version the server does not speak
+  kUnknownType,         // v2 message type the server does not know
+  kUnknownSession,      // session id never opened, or already closed
+  kStaleEpoch,          // fault_burst expect_epoch != session epoch
+  kSessionLimit,        // session admission bound hit; close one first
+  kOverloaded,          // compute admission bound hit; retry later
+  kComputeFailed,       // the certification computation threw
+  kInternal,            // unexpected failure inside the service
+};
+
+/// The structured {code, message} error object every protocol response
+/// carries on failure (free-text-only errors were protocol v1-alpha).
+struct ErrorInfo {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code == ErrorCode::kNone; }
+};
+
+/// Stable protocol name of \p code ("invalid_request", "stale_epoch",
+/// ...). Inverse: ParseErrorCode in serve/protocol.h.
+std::string ErrorCodeName(ErrorCode code);
+
 /// How the response was produced; metadata only, excluded from the
 /// deterministic payload.
 enum class CacheOutcome {
@@ -95,9 +138,12 @@ enum class CacheOutcome {
 
 struct CertResponse {
   // ---- deterministic payload (covered by ResponseDigest) ----
+  /// Echo of the request's protocol_version.
+  int protocol_version = kProtocolV1;
   std::string id;
   ServeStatus status = ServeStatus::kError;
-  std::string error;  // non-empty iff status == kError
+  /// Meaningful iff status != kOk (kOverloaded carries kOverloaded).
+  ErrorInfo error;
   /// Canonical content-addressed key (design + options + treat).
   std::uint64_t key = 0;
   bool deadlock_free = false;
@@ -172,6 +218,15 @@ class CertificationService {
   /// call from many threads.
   CertResponse Serve(const CertRequest& request);
 
+  /// Serves a design the caller already materialized (sessions hold
+  /// their live design in memory). Skips the raw-request fingerprint
+  /// memo — there are no raw request bytes — but shares the canonical
+  /// cache, the coalescer and the admission bound with Serve: the
+  /// response is bit-identical to Serve on any request naming the same
+  /// canonical problem. The request's design-source fields are ignored.
+  CertResponse ServeDesign(const NocDesign& design,
+                           const CertRequest& request);
+
   /// Serves \p requests over \p client_threads caller-side threads
   /// (0 = the compute pool width); responses come back indexed like the
   /// input. Deterministic payloads for any thread count.
@@ -195,6 +250,16 @@ class CertificationService {
   };
 
   CertResponse ServeInner(const CertRequest& request);
+  /// The canonical-path tail shared by Serve and ServeDesign:
+  /// canonicalize, consult the cache, coalesce, compute. A non-empty
+  /// \p fingerprint publishes the front-memo mapping on success.
+  CertResponse ServeMaterialized(const NocDesign& design,
+                                 const CertRequest& request,
+                                 std::string fingerprint,
+                                 std::uint64_t fingerprint_digest);
+  /// Serve's exception-to-response boundary, shared with ServeDesign.
+  CertResponse Guarded(const CertRequest& request,
+                       const std::function<CertResponse()>& inner);
 
   ServiceConfig config_;
   Certifier certifier_;
@@ -212,11 +277,16 @@ class CertificationService {
 CachedCertification ComputeCertification(const NocDesign& canonical_design,
                                          const CertRequest& request);
 
-/// Materializes the design a request names (parse, generate, or
-/// campaign trial draw). Throws on malformed design text or generator
-/// parameters.
-NocDesign MaterializeRequestDesign(const CertRequest& request,
-                                   const valid::DesignEnvelope& envelope);
+/// Materializes the design a spec names (parse, generate, or campaign
+/// trial draw) — the one design-sourcing path stateless serves and
+/// sessions share. Throws on malformed design text or generator
+/// parameters. When \p table_out is non-null it receives the design's
+/// next-hop routing table for the generator and source+seed kinds
+/// (enabling table-driven fault detours in sessions) and is cleared for
+/// inline design text, whose routes carry no table.
+NocDesign MaterializeDesign(const DesignSpec& spec,
+                            const valid::DesignEnvelope& envelope,
+                            NextHopTable* table_out = nullptr);
 
 /// FNV-1a digest over the deterministic payload fields of \p responses,
 /// in order. Identical for any client thread count and any cache state.

@@ -493,7 +493,8 @@ TEST(ServiceTest, MalformedRequestsAreErrorsAndNeverCached) {
   request.design_text = "this is not a design";
   const CertResponse first = service.Serve(request);
   EXPECT_EQ(first.status, ServeStatus::kError);
-  EXPECT_FALSE(first.error.empty());
+  EXPECT_EQ(first.error.code, serve::ErrorCode::kInvalidRequest);
+  EXPECT_FALSE(first.error.message.empty());
   const CertResponse second = service.Serve(request);
   EXPECT_EQ(second.status, ServeStatus::kError);
   const serve::ServiceStats stats = service.Stats();

@@ -1,13 +1,18 @@
 // nocdr_serve: the certification service on stdin/stdout.
 //
 // Reads line-delimited JSON requests (see src/serve/protocol.h and the
-// README's "Certification service" section), serves them through the
-// in-process CertificationService — sharded certificate cache,
-// single-flight coalescing, bounded admission — and writes one response
-// line per request, in request order. Malformed lines produce an
-// "error" response rather than killing the session.
+// README's "Certification service" / "Streaming reconfiguration
+// sessions" sections), serves them through the in-process
+// CertificationService — sharded certificate cache, single-flight
+// coalescing, bounded admission — and writes one response line per
+// request, in request order. Protocol v2 session messages
+// (session_open / fault_burst / session_snapshot / session_close) are
+// routed to an in-process SessionService sharing the same cert cache.
+// Malformed lines produce a structured-error response rather than
+// killing the session.
 //
 //   ./nocdr_serve < examples/serve_requests.jsonl
+//   ./nocdr_serve < examples/serve_session_requests.jsonl
 //
 // Flags:
 //   --threads N       compute-pool threads, 0 = hardware (default 0)
@@ -16,9 +21,15 @@
 //   --cache-mb N      cache payload bound in MiB (default 64)
 //   --max-pending N   admission bound on in-flight computations
 //                     (default 1024; excess requests get "overloaded")
-//   --batch N         lines served per pipelined batch (default 4x the
-//                     compute width; 1 = strictly sequential)
-//   --stats           print service counters to stderr at EOF
+//   --max-sessions N  admission bound on open sessions (default 256)
+//   --batch N         v1 lines served per pipelined batch (default 4x
+//                     the compute width; 1 = strictly sequential)
+//   --stats           print service + session counters to stderr at EOF
+//
+// Stateless requests are batched so duplicates coalesce; a session
+// message flushes the pending batch first (responses stay in request
+// order) and is then served synchronously — bursts on one session are
+// ordered by construction.
 //
 // Exit code: 0 on EOF, 2 on bad flags. Request-level failures are
 // responses, not exit codes — a serving process must outlive them.
@@ -32,6 +43,7 @@
 #include "bench_common.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "serve/session.h"
 
 using namespace nocdr;
 
@@ -39,6 +51,7 @@ namespace {
 
 struct Options {
   serve::ServiceConfig service;
+  serve::SessionServiceConfig sessions;
   std::size_t batch = 0;
   bool stats = false;
 };
@@ -52,6 +65,7 @@ Options ParseOptions(int argc, char** argv) {
   flags.AddSize("--cache-entries", &opts.service.cache.max_entries);
   flags.AddSize("--cache-mb", &cache_mb);
   flags.AddSize("--max-pending", &opts.service.max_pending);
+  flags.AddSize("--max-sessions", &opts.sessions.max_sessions);
   flags.AddSize("--batch", &opts.batch);
   flags.AddSwitch("--stats", &opts.stats);
   flags.Parse(argc, argv);
@@ -64,6 +78,8 @@ Options ParseOptions(int argc, char** argv) {
 int main(int argc, char** argv) {
   const Options opts = ParseOptions(argc, argv);
   serve::CertificationService service(opts.service);
+  serve::SessionService sessions(service, opts.sessions);
+  serve::ServeDispatcher dispatcher(service, sessions);
   std::size_t width = opts.service.threads;
   if (width == 0) {
     width = std::max(1u, std::thread::hardware_concurrency());
@@ -72,9 +88,10 @@ int main(int argc, char** argv) {
 
   std::vector<serve::CertRequest> batch;
   std::vector<std::size_t> bad_lines;  // indices with parse failures
-  std::vector<std::string> bad_errors;
+  std::vector<std::string> bad_responses;
   std::string line;
   std::size_t served = 0;
+  std::size_t session_messages = 0;
 
   const auto flush = [&] {
     // Parse failures become error responses inline; parsable requests
@@ -84,10 +101,7 @@ int main(int argc, char** argv) {
     std::size_t bad = 0;
     for (std::size_t i = 0, r = 0; i < batch.size() + bad_lines.size(); ++i) {
       if (bad < bad_lines.size() && bad_lines[bad] == i) {
-        serve::CertResponse error_response;
-        error_response.status = serve::ServeStatus::kError;
-        error_response.error = bad_errors[bad];
-        std::cout << serve::ResponseToJsonLine(error_response) << "\n";
+        std::cout << bad_responses[bad] << "\n";
         ++bad;
       } else {
         std::cout << serve::ResponseToJsonLine(responses[r++]) << "\n";
@@ -97,7 +111,7 @@ int main(int argc, char** argv) {
     served += batch.size() + bad_lines.size();
     batch.clear();
     bad_lines.clear();
-    bad_errors.clear();
+    bad_responses.clear();
   };
 
   std::size_t line_index = 0;
@@ -106,10 +120,25 @@ int main(int argc, char** argv) {
       continue;
     }
     try {
-      batch.push_back(serve::ParseRequestLine(line));
-    } catch (const std::exception& e) {
+      serve::ServeMessage message = serve::ParseMessageLine(line);
+      if (message.is_session) {
+        // Session messages serve in stream order: flush the stateless
+        // batch first, then answer synchronously.
+        flush();
+        line_index = 0;
+        std::cout << dispatcher.Handle(message) << "\n";
+        std::cout.flush();
+        ++served;
+        ++session_messages;
+        continue;
+      }
+      batch.push_back(std::move(message.certify));
+    } catch (const serve::ProtocolError&) {
       bad_lines.push_back(line_index);
-      bad_errors.push_back(e.what());
+      // Re-dispatch for the structured error line (best-effort id and
+      // protocol_version echo); the line cannot parse, so this cannot
+      // serve anything.
+      bad_responses.push_back(dispatcher.HandleLine(line));
     }
     ++line_index;
     if (line_index >= batch_size) {
@@ -123,12 +152,21 @@ int main(int argc, char** argv) {
 
   if (opts.stats) {
     const serve::ServiceStats stats = service.Stats();
-    std::cerr << "nocdr_serve: " << served << " served: " << stats.hits
-              << " hits, " << stats.computations << " computed, "
-              << stats.coalesced << " coalesced, " << stats.rejected
-              << " rejected, " << stats.errors << " errors; cache "
-              << stats.cache.entries << " entries / " << stats.cache.bytes
-              << " bytes, " << stats.cache.evictions << " evictions\n";
+    const serve::SessionServiceStats session_stats = sessions.Stats();
+    std::cerr << "nocdr_serve: " << served << " served (" << session_messages
+              << " session messages): " << stats.hits << " hits, "
+              << stats.computations << " computed, " << stats.coalesced
+              << " coalesced, " << stats.rejected << " rejected, "
+              << stats.errors << " errors; cache " << stats.cache.entries
+              << " entries / " << stats.cache.bytes << " bytes, "
+              << stats.cache.evictions << " evictions; sessions "
+              << session_stats.opened << " opened, " << session_stats.closed
+              << " closed, " << session_stats.live_sessions << " live, "
+              << session_stats.open_rejected << " rejected, "
+              << session_stats.bursts_applied << " bursts applied, "
+              << session_stats.bursts_infeasible << " infeasible, "
+              << session_stats.epochs_served << " epochs served, "
+              << session_stats.errors << " errors\n";
   }
   return 0;
 }
