@@ -21,6 +21,12 @@
 //                    (default: all)
 //   --sources a,b,c  comma list of design sources synthesized|mesh|
 //                    torus|ring|fat_tree (default: all)
+//   --engines a,b,c  comma list of worklist|fullscan|event. Two or more
+//                    turn every trial into an engine-differential test:
+//                    the first engine is the primary, the rest are
+//                    re-classified and cross-checked field-for-field
+//                    (any disagreement is an engine_divergence
+//                    mismatch). One engine just selects it.
 //   --no-shrink      skip minimizing mismatches
 //   --no-perf        skip the simulator speedup measurement
 //   --check-determinism  rerun at 1 and 3 threads, require equal digests
@@ -62,8 +68,10 @@ Options ParseOptions(int argc, char** argv) {
   bench::FlagParser flags("bench_validation_campaign");
   std::string arms_csv;
   std::string sources_csv;
+  std::string engines_csv;
   bool arms_given = false;
   bool sources_given = false;
+  bool engines_given = false;
   bool no_shrink = false;
   bool no_perf = false;
   flags.AddSize("--trials", &opts.campaign.trials);
@@ -71,6 +79,7 @@ Options ParseOptions(int argc, char** argv) {
   flags.AddSize("--threads", &opts.campaign.threads);
   flags.AddString("--arms", &arms_csv, &arms_given);
   flags.AddString("--sources", &sources_csv, &sources_given);
+  flags.AddString("--engines", &engines_csv, &engines_given);
   flags.AddSwitch("--no-shrink", &no_shrink);
   flags.AddSwitch("--no-perf", &no_perf);
   flags.AddSwitch("--check-determinism", &opts.check_determinism);
@@ -102,6 +111,18 @@ Options ParseOptions(int argc, char** argv) {
     }
     if (opts.campaign.sources.empty()) {
       flags.Fail("--sources needs at least one source");
+    }
+  }
+  if (engines_given) {
+    for (const std::string& name : bench::SplitCsv(engines_csv)) {
+      const auto engine = ParseEngine(name);
+      if (!engine.has_value()) {
+        flags.Fail("unknown engine \"" + name + "\"");
+      }
+      opts.campaign.engines.push_back(*engine);
+    }
+    if (opts.campaign.engines.empty()) {
+      flags.Fail("--engines needs at least one engine");
     }
   }
   return opts;
@@ -156,11 +177,14 @@ double TimeSim(const NocDesign& design, const SimConfig& config) {
   return best;
 }
 
-/// Measures the worklist engine against the full-scan reference on the
-/// campaign's largest design, under the dense campaign workload and a
-/// light steady-state workload. Returns the best speedup of the two —
-/// the worklist engine exists for sparse activity, where the full scan
-/// burns a whole channel sweep per cycle to move a handful of flits.
+/// Measures the worklist and event engines against the full-scan
+/// reference on the campaign's largest design, under the dense campaign
+/// workload and a light steady-state workload. Returns the best
+/// worklist speedup of the two — the optimized engines exist for sparse
+/// activity, where the full scan burns a whole channel sweep per cycle
+/// to move a handful of flits and the event engine additionally skips
+/// idle cycles outright (its headline ≥10x gate runs on the far larger
+/// designs of bench_sim_latency_curve; here the rows are informational).
 double MeasureSimSpeedup(const valid::CampaignConfig& config,
                          const std::vector<valid::TrialRow>& rows,
                          BenchJsonWriter& json) {
@@ -195,7 +219,8 @@ double MeasureSimSpeedup(const valid::CampaignConfig& config,
 
   double best_speedup = 0.0;
   TextTable table;
-  table.SetHeader({"workload", "fullscan (ms)", "worklist (ms)", "speedup"});
+  table.SetHeader({"workload", "fullscan (ms)", "worklist (ms)",
+                   "event (ms)", "worklist speedup", "event speedup"});
   for (const auto& [label, base] :
        {std::pair<std::string, SimConfig*>{"dense_fixed_count", &dense},
         {"light_bernoulli", &light}}) {
@@ -204,10 +229,17 @@ double MeasureSimSpeedup(const valid::CampaignConfig& config,
     const double full_ms = TimeSim(design, cfg);
     cfg.engine = SimEngine::kWorklist;
     const double work_ms = TimeSim(design, cfg);
+    cfg.engine = SimEngine::kEvent;
+    const double event_ms = TimeSim(design, cfg);
     const double speedup = work_ms > 0.0 ? full_ms / work_ms : 0.0;
+    // Same definition as bench_sim_latency_curve: the event engine
+    // against the worklist incumbent (its ≥10x gate lives there, on the
+    // far larger mesh ladder; these rows just track the campaign shape).
+    const double event_speedup = event_ms > 0.0 ? work_ms / event_ms : 0.0;
     best_speedup = std::max(best_speedup, speedup);
     table.AddRow({label, FormatDouble(full_ms, 2), FormatDouble(work_ms, 2),
-                  FormatDouble(speedup, 2) + "x"});
+                  FormatDouble(event_ms, 2), FormatDouble(speedup, 2) + "x",
+                  FormatDouble(event_speedup, 2) + "x"});
     json.AddRow(JsonObject()
                     .Set("section", "sim_engine_speedup")
                     .Set("design", design.name)
@@ -216,7 +248,9 @@ double MeasureSimSpeedup(const valid::CampaignConfig& config,
                     .Set("workload", label)
                     .Set("fullscan_ms", full_ms)
                     .Set("worklist_ms", work_ms)
-                    .Set("speedup", speedup));
+                    .Set("event_ms", event_ms)
+                    .Set("speedup", speedup)
+                    .Set("event_engine_speedup", event_speedup));
   }
   std::cout << "\n=== simulator engine speedup on largest design ("
             << design.name << ", " << design.topology.ChannelCount()
@@ -238,7 +272,14 @@ int main(int argc, char** argv) {
   std::cout << "=== validation campaign: " << opts.campaign.trials
             << " trials, seed " << opts.campaign.base_seed << ", "
             << opts.campaign.arms.size() << " arms, "
-            << opts.campaign.sources.size() << " design sources ===\n\n";
+            << opts.campaign.sources.size() << " design sources";
+  if (opts.campaign.engines.size() > 1) {
+    std::cout << ", engine differential";
+    for (const SimEngine engine : opts.campaign.engines) {
+      std::cout << " " << EngineName(engine);
+    }
+  }
+  std::cout << " ===\n\n";
   const auto t0 = std::chrono::steady_clock::now();
   const valid::CampaignResult result = valid::RunCampaign(opts.campaign);
   const double campaign_ms = MillisSince(t0);

@@ -1,0 +1,128 @@
+// Deterministic discrete-event queue for the event-driven simulator
+// engine (SimEngine::kEvent).
+//
+// A netsim-style binary min-heap of (cycle, kind, id) events. The
+// comparison is a *total* order — cycle first, then event kind, then the
+// payload id — so the pop sequence of any event multiset is unique
+// regardless of insertion order. That property is load-bearing: the
+// event engine must stay bit-identical to the cycle-accurate engines no
+// matter how the per-cycle handlers happened to enqueue simultaneous
+// events, and the seeded heap-order fuzz test (tests/test_sim_engines)
+// shuffles insertion orders to prove it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nocdr {
+
+/// What a simulation event announces for its cycle. The engine treats
+/// any event as "this cycle needs a visit"; the kind records *why* time
+/// had to stop there and fixes the deterministic tie-break among
+/// simultaneous events.
+enum class EventKind : std::uint8_t {
+  /// A flow's next packet becomes ready for injection (id = flow).
+  kFlitInjection = 0,
+  /// A buffer slot or link freed last cycle; blocked flits may advance.
+  kCreditReturn = 1,
+  /// A worm's tail ejected; its channel ownerships are released.
+  kWormCompletion = 2,
+  /// Generic switch-arbitration wake (injection-only activity).
+  kArbitrationWake = 3,
+};
+
+struct SimEvent {
+  std::uint64_t cycle = 0;
+  EventKind kind = EventKind::kArbitrationWake;
+  /// Kind-specific payload (flow id for kFlitInjection, else 0).
+  std::uint32_t id = 0;
+
+  friend bool operator==(const SimEvent&, const SimEvent&) = default;
+};
+
+/// Strict total order over events: earliest cycle first, kind and id as
+/// deterministic tie-breaks.
+[[nodiscard]] constexpr bool EventBefore(const SimEvent& a,
+                                         const SimEvent& b) {
+  if (a.cycle != b.cycle) {
+    return a.cycle < b.cycle;
+  }
+  if (a.kind != b.kind) {
+    return a.kind < b.kind;
+  }
+  return a.id < b.id;
+}
+
+/// Binary min-heap keyed by EventBefore. Hand-rolled rather than
+/// std::priority_queue so Top() and the sift order are explicit and the
+/// deterministic tie-break contract is testable in isolation.
+class EventQueue {
+ public:
+  [[nodiscard]] bool Empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t Size() const { return heap_.size(); }
+
+  void Clear() { heap_.clear(); }
+
+  /// The earliest event under the total order.
+  [[nodiscard]] const SimEvent& Top() const {
+    Require(!heap_.empty(), "EventQueue::Top: queue is empty");
+    return heap_.front();
+  }
+
+  void Push(SimEvent event) {
+    heap_.push_back(event);
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Removes and returns the earliest event.
+  SimEvent PopTop() {
+    Require(!heap_.empty(), "EventQueue::PopTop: queue is empty");
+    const SimEvent top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      SiftDown(0);
+    }
+    return top;
+  }
+
+ private:
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!EventBefore(heap_[i], heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t smallest = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      if (left < n && EventBefore(heap_[left], heap_[smallest])) {
+        smallest = left;
+      }
+      if (right < n && EventBefore(heap_[right], heap_[smallest])) {
+        smallest = right;
+      }
+      if (smallest == i) {
+        break;
+      }
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<SimEvent> heap_;
+};
+
+}  // namespace nocdr

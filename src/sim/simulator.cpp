@@ -5,6 +5,7 @@
 #include <optional>
 #include <queue>
 
+#include "sim/event_queue.h"
 #include "sim/transition.h"
 #include "util/error.h"
 
@@ -43,11 +44,15 @@ struct SourceState {
 class Engine {
  public:
   Engine(const NocDesign& design, const SimConfig& config,
-         const TransitionSpec* transition = nullptr)
+         const TransitionSpec* transition = nullptr,
+         const TrafficSchedule* schedule = nullptr)
       : design_(design),
         config_(config),
         transition_(transition),
-        schedule_(design, config.traffic, config.max_cycles),
+        schedule_(schedule != nullptr
+                      ? *schedule
+                      : TrafficSchedule(design, config.traffic,
+                                        config.max_cycles)),
         vcs_(design.topology.ChannelCount()),
         sources_(design.traffic.FlowCount()) {
     result_.packets_offered = schedule_.TotalPackets();
@@ -69,15 +74,16 @@ class Engine {
         armed_.push_back(static_cast<std::uint32_t>(f));
         flow_armed_[f] = 1;
       } else {
-        ready_heap_.push({schedule_.ReadyAt(FlowId(f), 0),
-                          static_cast<std::uint32_t>(f)});
+        ParkFlow(static_cast<std::uint32_t>(f),
+                 schedule_.ReadyAt(FlowId(f), 0));
       }
     }
   }
 
   SimResult Run() {
     std::uint64_t last_progress = 0;
-    for (cycle_ = 0; cycle_ < config_.max_cycles; ++cycle_) {
+    cycle_ = 0;
+    while (cycle_ < config_.max_cycles) {
       if (transition_ != nullptr && !epoch_switched_) {
         MaybeTransition();
       }
@@ -108,6 +114,27 @@ class Engine {
         DetectCircularWait();  // best effort: attach a certificate
         break;
       }
+      if (EventDriven() && moved) {
+        // The cycle changed state, so the very next cycle may act on the
+        // freed credits / released ownerships / fresh flits; announce it
+        // with the most specific event kind the cycle produced.
+        EventKind kind = EventKind::kArbitrationWake;
+        if (tail_ejected_) {
+          kind = EventKind::kWormCompletion;
+        } else if (!ejects_.empty() || !moves_.empty()) {
+          kind = EventKind::kCreditReturn;
+        }
+        events_.Push({cycle_ + 1, kind, 0});
+      }
+      if (EventDriven() && !moved) {
+        // Nothing moved, so the network state is a fixed point until an
+        // external event: jump heap-to-heap instead of grinding through
+        // idle cycles. NextWakeCycle never skips a cycle the
+        // cycle-accurate engines could have acted on.
+        cycle_ = NextWakeCycle(last_progress);
+      } else {
+        ++cycle_;
+      }
     }
     result_.cycles = cycle_;
     for (const VcState& vc : vcs_) {
@@ -129,8 +156,57 @@ class Engine {
   }
 
  private:
+  /// True for the engines that maintain the active/armed worklists (the
+  /// event engine is the worklist step machinery under an event-driven
+  /// clock); false only for the full-scan reference.
   [[nodiscard]] bool Worklist() const {
-    return config_.engine == SimEngine::kWorklist;
+    return config_.engine != SimEngine::kFullScan;
+  }
+
+  [[nodiscard]] bool EventDriven() const {
+    return config_.engine == SimEngine::kEvent;
+  }
+
+  /// Parks flow \p f until \p ready: an injection event for the event
+  /// engine, a ready-heap entry for the worklist engine. (The full-scan
+  /// engine re-polls every flow each cycle and ignores both, but parking
+  /// is harmless and keeps the constructor engine-agnostic.)
+  void ParkFlow(std::uint32_t f, std::uint64_t ready) {
+    if (EventDriven()) {
+      events_.Push({ready, EventKind::kFlitInjection, f});
+    } else {
+      ready_heap_.push({ready, f});
+    }
+  }
+
+  /// Earliest future cycle at which anything observable can happen,
+  /// given that the just-simulated cycle moved nothing (so the network
+  /// state is frozen until then). Candidates: the next queued event
+  /// (flit injection or wake), the transition window (which must tick
+  /// cycle-by-cycle to count drain cycles exactly), the next periodic
+  /// deadlock-check boundary, and the stall watchdog's expiry. Clamped
+  /// to max_cycles, which ends the run just like the cycle-accurate
+  /// engines spinning out their budget.
+  [[nodiscard]] std::uint64_t NextWakeCycle(std::uint64_t last_progress) {
+    while (!events_.Empty() && events_.Top().cycle <= cycle_) {
+      events_.PopTop();  // already handled by this cycle's step
+    }
+    std::uint64_t next = config_.max_cycles;
+    if (transition_ != nullptr && !epoch_switched_) {
+      if (cycle_ + 1 >= transition_->cycle) {
+        return cycle_ + 1;  // inside the pre-switch window: tick
+      }
+      next = std::min(next, transition_->cycle);
+    }
+    if (!events_.Empty()) {
+      next = std::min(next, events_.Top().cycle);
+    }
+    if (FlitsInFlight()) {
+      const std::uint64_t interval = config_.deadlock_check_interval;
+      next = std::min(next, (cycle_ / interval + 1) * interval);
+      next = std::min(next, last_progress + config_.stall_threshold);
+    }
+    return std::max(next, cycle_ + 1);
   }
 
   [[nodiscard]] bool FlitsInFlight() const {
@@ -282,17 +358,21 @@ class Engine {
 
   /// One simulated cycle; returns true when at least one flit moved.
   ///
-  /// Both engines visit channels in ascending id order starting at
+  /// Every engine visits channels in ascending id order starting at
   /// (cycle mod channel count) with wraparound, then flows likewise —
   /// the rotating round-robin. Channels with empty buffers and drained
   /// flows are no-ops under that scan, so the worklist engine skipping
-  /// them is semantics-preserving and the two engines stay bit-identical.
+  /// them is semantics-preserving, and the event engine additionally
+  /// skipping whole cycles in which nothing could move (see
+  /// NextWakeCycle) preserves the cycle numbering those pivots depend
+  /// on. All three engines therefore stay bit-identical.
   bool Step() {
     stamp_ = cycle_ + 1;  // distinct from the 0 the scratch stamps start at
     moves_.clear();
     ejects_.clear();
     injections_.clear();
     touched_.clear();
+    tail_ejected_ = false;
 
     bool moved = false;
     if (config_.inject_first) {
@@ -344,15 +424,30 @@ class Engine {
     bool moved = false;
     if (Worklist()) {
       // Arm the flows whose next packet became ready by now. Equal ready
-      // times pop in unspecified order, but the batch is sorted before
-      // merging, so the armed list is schedule-deterministic.
-      if (!ready_heap_.empty() && ready_heap_.top().first <= cycle_) {
-        newly_armed_.clear();
+      // times pop in unspecified order (heap) or tie-break order (event
+      // queue), but the batch is sorted before merging, so the armed
+      // list is schedule-deterministic either way.
+      newly_armed_.clear();
+      if (EventDriven()) {
+        // Drain every event due this cycle: injection events arm their
+        // flow; credit-return / worm-completion / arbitration wakes
+        // exist to pull the clock here and are consumed by the step
+        // itself.
+        while (!events_.Empty() && events_.Top().cycle <= cycle_) {
+          const SimEvent event = events_.PopTop();
+          if (event.kind == EventKind::kFlitInjection) {
+            newly_armed_.push_back(event.id);
+            flow_armed_[event.id] = 1;
+          }
+        }
+      } else {
         while (!ready_heap_.empty() && ready_heap_.top().first <= cycle_) {
           newly_armed_.push_back(ready_heap_.top().second);
           flow_armed_[ready_heap_.top().second] = 1;
           ready_heap_.pop();
         }
+      }
+      if (!newly_armed_.empty()) {
         std::sort(newly_armed_.begin(), newly_armed_.end());
         const auto mid = static_cast<std::ptrdiff_t>(armed_.size());
         armed_.insert(armed_.end(), newly_armed_.begin(),
@@ -488,7 +583,7 @@ class Engine {
       if (ready > cycle_) {
         flow_armed_[f.value()] = 0;
         disarm_dirty_ = true;
-        ready_heap_.push({ready, f.value()});
+        ParkFlow(f.value(), ready);
       }
     }
   }
@@ -550,6 +645,7 @@ class Engine {
       ++result_.channel_flits[c.value()];
       if (flit.is_tail) {
         vc.owner.reset();
+        tail_ejected_ = true;
         ++result_.packets_delivered;
         const std::uint64_t latency = cycle_ - flit.injected_at + 1;
         latency_sum_ += latency;
@@ -745,6 +841,13 @@ class Engine {
   std::size_t drained_sources_ = 0;
   bool disarm_dirty_ = false;
 
+  // Event-engine state: the discrete-event queue (flit-injection events
+  // replace the ready heap; wake events record why time stopped at a
+  // cycle) and the per-cycle worm-completion marker that picks the wake
+  // kind.
+  EventQueue events_;
+  bool tail_ejected_ = false;
+
   // Transition-run state; inert for plain SimulateWorkload runs.
   bool epoch_switched_ = false;
   bool inject_suspended_ = false;
@@ -760,12 +863,49 @@ class Engine {
 
 }  // namespace
 
+std::vector<SimEngine> AllEngines() {
+  return {SimEngine::kFullScan, SimEngine::kWorklist, SimEngine::kEvent};
+}
+
+std::string EngineName(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kWorklist:
+      return "worklist";
+    case SimEngine::kFullScan:
+      return "fullscan";
+    case SimEngine::kEvent:
+      return "event";
+  }
+  return "unknown";
+}
+
+std::optional<SimEngine> ParseEngine(const std::string& name) {
+  for (const SimEngine engine : AllEngines()) {
+    if (EngineName(engine) == name) {
+      return engine;
+    }
+  }
+  return std::nullopt;
+}
+
 SimResult SimulateWorkload(const NocDesign& design, const SimConfig& config) {
   Require(config.traffic.packet_length >= 1,
           "SimulateWorkload: packets need at least one flit");
   Require(config.buffer_depth >= 1,
           "SimulateWorkload: buffers need at least one slot");
   Engine engine(design, config);
+  return engine.Run();
+}
+
+SimResult SimulateWorkload(const NocDesign& design, const SimConfig& config,
+                           const TrafficSchedule& schedule) {
+  Require(config.traffic.packet_length >= 1,
+          "SimulateWorkload: packets need at least one flit");
+  Require(config.buffer_depth >= 1,
+          "SimulateWorkload: buffers need at least one slot");
+  Require(schedule.FlowCount() == design.traffic.FlowCount(),
+          "SimulateWorkload: schedule not sized for the design's flows");
+  Engine engine(design, config, nullptr, &schedule);
   return engine.Run();
 }
 

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "noc/design.h"
@@ -31,19 +33,40 @@
 
 namespace nocdr {
 
-/// How the engine finds work each cycle. Both engines are cycle-accurate
-/// and produce bit-identical SimResults (property-tested); they differ
-/// only in per-cycle cost.
+/// How the engine finds work each cycle. All three engines simulate the
+/// same cycle-level semantics and produce bit-identical SimResults
+/// (property-tested three ways across the corpus); they differ only in
+/// what a cycle — or the absence of one — costs.
 enum class SimEngine {
   /// Worklists of non-empty channels and undrained sources; per-cycle
   /// cost is O(active), which is what makes million-packet validation
   /// campaigns tractable on large designs.
   kWorklist,
   /// The reference formulation: scan every channel and every flow each
-  /// cycle. Kept as the baseline the worklist engine is differential-
+  /// cycle. Kept as the baseline the other engines are differential-
   /// tested and benchmarked against.
   kFullScan,
+  /// Discrete-event core: the worklist step machinery driven by a
+  /// binary-heap EventQueue (sim/event_queue.h) of flit-injection,
+  /// credit-return, worm-completion and arbitration-wake events keyed
+  /// by (cycle, deterministic tie-break). Time advances heap-to-heap:
+  /// cycles in which provably nothing can move — no flit in flight that
+  /// moved last cycle, no armed flow, no pending event, no transition
+  /// window, no deadlock-check deadline — are skipped outright, so idle
+  /// time on large sparse designs costs nothing. Wakes land on exactly
+  /// the cycles the cycle-accurate engines would have acted on, which
+  /// is what keeps the results bit-identical.
+  kEvent,
 };
+
+/// All engines, in the fixed differential-test order (reference first).
+std::vector<SimEngine> AllEngines();
+
+/// Stable lowercase identifier ("worklist", "fullscan", "event").
+std::string EngineName(SimEngine engine);
+
+/// Inverse of EngineName; nullopt for unknown names.
+std::optional<SimEngine> ParseEngine(const std::string& name);
 
 struct SimConfig {
   SimEngine engine = SimEngine::kWorklist;
@@ -111,5 +134,15 @@ struct SimResult {
 /// Runs the workload described by \p config.traffic on \p design.
 /// The design must satisfy Validate().
 SimResult SimulateWorkload(const NocDesign& design, const SimConfig& config);
+
+/// As above, but injects from \p schedule instead of synthesizing one
+/// from config.traffic. The schedule must have been built for this
+/// design (one entry list per flow). Lets engine benchmarks share one
+/// schedule across engines and time the simulation alone — Bernoulli
+/// schedule synthesis is O(flows x horizon) and identical for every
+/// engine, so folding it into the measurement would mask the engine
+/// difference it exists to expose.
+SimResult SimulateWorkload(const NocDesign& design, const SimConfig& config,
+                           const TrafficSchedule& schedule);
 
 }  // namespace nocdr

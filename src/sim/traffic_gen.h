@@ -50,6 +50,9 @@ class TrafficSchedule {
 
   [[nodiscard]] std::uint64_t TotalPackets() const { return total_; }
 
+  /// Number of flows the schedule was built for.
+  [[nodiscard]] std::size_t FlowCount() const { return ready_.size(); }
+
  private:
   std::vector<std::vector<std::uint64_t>> ready_;  // per flow
   std::uint64_t total_ = 0;

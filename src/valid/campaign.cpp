@@ -466,6 +466,91 @@ TrialOutcome RunTrial(const NocDesign& design, TrialArm arm,
   return out;
 }
 
+namespace {
+
+/// First deterministic field on which two classifications of the same
+/// (design, arm, workload, seed) trial disagree; empty when they agree.
+/// Wall clock (run_ms) and shrink summaries are excluded by design.
+std::string FirstDivergence(const TrialRow& a, const TrialRow& b) {
+  const auto diff = [](const std::string& field, auto lhs, auto rhs) {
+    return field + " (" + std::to_string(lhs) + " vs " +
+           std::to_string(rhs) + ")";
+  };
+  if (a.channels_after != b.channels_after) {
+    return diff("channels_after", a.channels_after, b.channels_after);
+  }
+  if (a.certified_free != b.certified_free) {
+    return diff("certified_free", a.certified_free, b.certified_free);
+  }
+  if (a.certificate_checked != b.certificate_checked) {
+    return diff("certificate_checked", a.certificate_checked,
+                b.certificate_checked);
+  }
+  if (a.sim_deadlocked != b.sim_deadlocked) {
+    return diff("sim_deadlocked", a.sim_deadlocked, b.sim_deadlocked);
+  }
+  if (a.all_delivered != b.all_delivered) {
+    return diff("all_delivered", a.all_delivered, b.all_delivered);
+  }
+  if (a.cycles != b.cycles) {
+    return diff("cycles", a.cycles, b.cycles);
+  }
+  if (a.packets_offered != b.packets_offered) {
+    return diff("packets_offered", a.packets_offered, b.packets_offered);
+  }
+  if (a.packets_delivered != b.packets_delivered) {
+    return diff("packets_delivered", a.packets_delivered,
+                b.packets_delivered);
+  }
+  if (a.escalations != b.escalations) {
+    return diff("escalations", a.escalations, b.escalations);
+  }
+  if (a.verdict != b.verdict) {
+    return diff("verdict", static_cast<int>(a.verdict),
+                static_cast<int>(b.verdict));
+  }
+  if (a.mismatch_kind != b.mismatch_kind) {
+    return diff("mismatch_kind", static_cast<int>(a.mismatch_kind),
+                static_cast<int>(b.mismatch_kind));
+  }
+  return {};
+}
+
+}  // namespace
+
+TrialOutcome RunTrialEngines(const NocDesign& design, TrialArm arm,
+                             const WorkloadConfig& workload,
+                             const std::vector<SimEngine>& engines,
+                             std::uint64_t seed, bool shrink,
+                             std::size_t trial_index) {
+  Require(!engines.empty(),
+          "RunTrialEngines: at least one engine required");
+  WorkloadConfig primary = workload;
+  primary.engine = engines.front();
+  TrialOutcome out =
+      RunTrial(design, arm, primary, seed, shrink, trial_index);
+  if (out.row.verdict == TrialVerdict::kMismatch) {
+    return out;  // already a contract breach; one breach per row
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t e = 1; e < engines.size(); ++e) {
+    WorkloadConfig secondary = workload;
+    secondary.engine = engines[e];
+    const TrialRow other = ClassifyTrial(design, arm, secondary, seed);
+    const std::string divergence = FirstDivergence(out.row, other);
+    if (!divergence.empty()) {
+      out.row.verdict = TrialVerdict::kMismatch;
+      out.row.mismatch_kind = MismatchKind::kEngineDivergence;
+      out.row.mismatch = "engine divergence " +
+                         EngineName(engines.front()) + " vs " +
+                         EngineName(engines[e]) + ": " + divergence;
+      break;
+    }
+  }
+  out.row.run_ms += MillisSince(t0);
+  return out;
+}
+
 CampaignResult RunCampaign(const CampaignConfig& config) {
   Require(!config.arms.empty(), "RunCampaign: at least one arm required");
   Require(!config.sources.empty(),
@@ -484,8 +569,18 @@ CampaignResult RunCampaign(const CampaignConfig& config) {
             try {
               const NocDesign design =
                   GenerateTrialDesign(source, seed, config.envelope);
-              out = RunTrial(design, arm, config.workload, seed,
-                             config.shrink, i);
+              if (config.engines.size() > 1) {
+                out = RunTrialEngines(design, arm, config.workload,
+                                      config.engines, seed, config.shrink,
+                                      i);
+              } else {
+                WorkloadConfig workload = config.workload;
+                if (!config.engines.empty()) {
+                  workload.engine = config.engines.front();
+                }
+                out = RunTrial(design, arm, workload, seed, config.shrink,
+                               i);
+              }
             } catch (const std::exception& e) {
               out.row.design_seed = seed;
               out.row.arm = arm;

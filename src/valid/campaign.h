@@ -165,6 +165,11 @@ enum class MismatchKind {
   kBadCounterexample,
   kWaitCycleOffCdg,
   kNoDetonation,
+  /// Engine-differential mode only: two simulation engines disagreed on
+  /// a deterministic trial field. Not minimized by the shrinker (which
+  /// re-classifies under a single engine); replay from the row's
+  /// design_seed + arm with each engine instead.
+  kEngineDivergence,
 };
 
 /// Outcome of one trial. Every field except run_ms is a deterministic
@@ -229,6 +234,20 @@ TrialOutcome RunTrial(const NocDesign& design, TrialArm arm,
                       const WorkloadConfig& workload, std::uint64_t seed,
                       bool shrink, std::size_t trial_index = 0);
 
+/// Engine-differential trial: runs the full trial under engines[0] (the
+/// primary, overriding workload.engine), then re-classifies under every
+/// other engine and cross-checks all deterministic row fields. Any
+/// disagreement becomes a kEngineDivergence mismatch naming the engine
+/// pair and the first differing field. A trial the primary already
+/// classifies as a mismatch is shrunk and reported as usual — the
+/// engine sweep is skipped, one contract breach per row. Requires at
+/// least one engine.
+TrialOutcome RunTrialEngines(const NocDesign& design, TrialArm arm,
+                             const WorkloadConfig& workload,
+                             const std::vector<SimEngine>& engines,
+                             std::uint64_t seed, bool shrink,
+                             std::size_t trial_index = 0);
+
 struct CampaignConfig {
   /// Total trial rows. Trial i generates design d = i / arms.size() from
   /// source sources[d % sources.size()] — the design seed is shared by
@@ -244,6 +263,12 @@ struct CampaignConfig {
   bool shrink = true;
   DesignEnvelope envelope;
   WorkloadConfig workload;
+  /// Engine-differential mode: with two or more entries every trial runs
+  /// RunTrialEngines over this matrix (engines[0] primary, the rest
+  /// cross-checked field-for-field), turning the whole campaign into a
+  /// simulation-engine equivalence test. Empty or singleton: plain
+  /// single-engine trials under workload.engine (or engines[0]).
+  std::vector<SimEngine> engines;
 };
 
 struct CampaignResult {

@@ -145,18 +145,20 @@ TEST(TransitionTest, EnginesAgreeAcrossTheTransition) {
   const DetourFixture fx = MakeDetourFixture();
   for (const TransitionPolicy policy :
        {TransitionPolicy::kDrainAndRestart, TransitionPolicy::kMidFlight}) {
-    const auto worklist = SimulateTransition(
-        fx.design, fx.pre_routes, fx.dead,
-        MakeConfig(policy, 10, SimEngine::kWorklist));
     const auto fullscan = SimulateTransition(
         fx.design, fx.pre_routes, fx.dead,
         MakeConfig(policy, 10, SimEngine::kFullScan));
-    EXPECT_EQ(worklist.sim.cycles, fullscan.sim.cycles);
-    EXPECT_EQ(worklist.sim.packets_delivered,
-              fullscan.sim.packets_delivered);
-    EXPECT_EQ(worklist.sim.flits_delivered, fullscan.sim.flits_delivered);
-    EXPECT_EQ(worklist.packets_dropped, fullscan.packets_dropped);
-    EXPECT_EQ(worklist.drain_cycles, fullscan.drain_cycles);
+    for (const SimEngine engine :
+         {SimEngine::kWorklist, SimEngine::kEvent}) {
+      const auto candidate = SimulateTransition(
+          fx.design, fx.pre_routes, fx.dead, MakeConfig(policy, 10, engine));
+      EXPECT_EQ(candidate.sim.cycles, fullscan.sim.cycles);
+      EXPECT_EQ(candidate.sim.packets_delivered,
+                fullscan.sim.packets_delivered);
+      EXPECT_EQ(candidate.sim.flits_delivered, fullscan.sim.flits_delivered);
+      EXPECT_EQ(candidate.packets_dropped, fullscan.packets_dropped);
+      EXPECT_EQ(candidate.drain_cycles, fullscan.drain_cycles);
+    }
   }
 }
 

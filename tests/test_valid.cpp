@@ -115,6 +115,50 @@ TEST(CampaignTest, DigestIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.digest, valid::Digest(serial.rows));
 }
 
+TEST(CampaignTest, EngineDifferentialCampaignRunsClean) {
+  // The three-way engine matrix cross-checks every trial field-for-field
+  // across worklist / fullscan / event; with bit-identical engines the
+  // rows must match the plain primary-engine campaign exactly (same
+  // digest), with zero divergences, at any thread count.
+  valid::CampaignConfig cfg = SmallCampaign();
+  cfg.engines = {SimEngine::kWorklist, SimEngine::kFullScan,
+                 SimEngine::kEvent};
+  const auto differential = valid::RunCampaign(cfg);
+  EXPECT_EQ(differential.mismatches, 0u);
+  for (const auto& row : differential.rows) {
+    EXPECT_NE(row.mismatch_kind, valid::MismatchKind::kEngineDivergence)
+        << row.mismatch;
+  }
+
+  valid::CampaignConfig plain = SmallCampaign();
+  plain.workload.engine = SimEngine::kWorklist;
+  const auto single = valid::RunCampaign(plain);
+  EXPECT_EQ(differential.digest, single.digest);
+
+  cfg.threads = 1;
+  const auto serial = valid::RunCampaign(cfg);
+  EXPECT_EQ(serial.digest, differential.digest);
+}
+
+TEST(CampaignTest, RunTrialEnginesMatchesSingleEngineTrial) {
+  const NocDesign ring = testing::MakeRingDesign(6, 2);
+  valid::WorkloadConfig workload;
+  workload.engine = SimEngine::kEvent;  // overridden by engines[0]
+  const valid::TrialOutcome differential = valid::RunTrialEngines(
+      ring, valid::TrialArm::kUntreated, workload,
+      {SimEngine::kFullScan, SimEngine::kWorklist, SimEngine::kEvent}, 9,
+      /*shrink=*/false);
+  valid::WorkloadConfig primary = workload;
+  primary.engine = SimEngine::kFullScan;
+  const valid::TrialRow single =
+      valid::ClassifyTrial(ring, valid::TrialArm::kUntreated, primary, 9);
+  EXPECT_EQ(differential.row.verdict, single.verdict);
+  EXPECT_EQ(differential.row.cycles, single.cycles);
+  EXPECT_EQ(differential.row.mismatch_kind, valid::MismatchKind::kNone);
+  EXPECT_TRUE(differential.row.mismatch.empty())
+      << differential.row.mismatch;
+}
+
 TEST(CampaignTest, ArmsShareTheSameDesign) {
   const auto result = valid::RunCampaign(SmallCampaign());
   // Trials come in groups (one per arm) over one design.

@@ -74,6 +74,25 @@ class CleanAndRegressedRuns(GateHarness):
         write_rows(self.fresh_dir / "BENCH_a.json", [self.row(speedup=2.0)])
         self.assertEqual(self.run_gate(), 0)  # within the 40% floor
 
+    def test_event_engine_speedup_holds_40_percent_floor(self):
+        # The sim_latency_curve gate: event_engine_speedup is a *speedup*
+        # metric, so a fresh value below 40% of baseline is a regression
+        # while anything at or above the floor is treated as noise.
+        write_rows(
+            self.baseline_dir / "BENCH_sim_latency_curve.json",
+            [self.row(event_engine_speedup=30.0)],
+        )
+        write_rows(
+            self.fresh_dir / "BENCH_sim_latency_curve.json",
+            [self.row(event_engine_speedup=11.9)],
+        )
+        self.assertEqual(self.run_gate(), 1)  # 11.9 < 30.0 * 0.4
+        write_rows(
+            self.fresh_dir / "BENCH_sim_latency_curve.json",
+            [self.row(event_engine_speedup=13.0)],
+        )
+        self.assertEqual(self.run_gate(), 0)  # above the floor
+
     def test_missing_fresh_row_fails(self):
         write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
         write_rows(
