@@ -18,6 +18,11 @@
 // O(flows x horizon) schedule synthesis stays out of the measurement.
 // Rows land in BENCH_sim_latency_curve.json (section
 // "event_engine_speedup") for the tools/bench_compare.py perf gate.
+//
+// Flags:
+//   --repeats N    best-of-N wall clock per engine point (default 3)
+//   --no-speedup   latency curve only: skip part 2 and write no BENCH
+//                  rows (quick local iteration; not for gated runs)
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -48,14 +53,14 @@ SimResult RunAt(const NocDesign& design, double rate) {
   return SimulateWorkload(design, cfg);
 }
 
-/// Best-of-3 wall clock of one engine over a pre-built schedule; the
+/// Best-of-N wall clock of one engine over a pre-built schedule; the
 /// result of the last repetition is handed back for cross-checking.
 double TimeEngine(const NocDesign& design, SimConfig config,
                   const TrafficSchedule& schedule, SimEngine engine,
-                  SimResult* result_out) {
+                  std::size_t repeats, SimResult* result_out) {
   config.engine = engine;
   double best = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     SimResult result = SimulateWorkload(design, config, schedule);
     const double ms = MillisSince(t0);
@@ -70,7 +75,8 @@ double TimeEngine(const NocDesign& design, SimConfig config,
 /// Light steady-state traffic on the largest generated meshes: the idle
 /// cycles between packets are exactly what the event engine skips.
 /// Returns the smallest per-design event-vs-worklist speedup.
-double MeasureEventEngineSpeedup(BenchJsonWriter& json) {
+double MeasureEventEngineSpeedup(BenchJsonWriter& json,
+                                 std::size_t repeats) {
   std::cout << "\n=== event engine vs worklist, light steady-state "
                "Bernoulli, 1M-cycle horizon ===\n\n";
   SimConfig cfg;
@@ -101,10 +107,11 @@ double MeasureEventEngineSpeedup(BenchJsonWriter& json) {
     const TrafficSchedule schedule(design, cfg.traffic, cfg.max_cycles);
     SimResult worklist_result, event_result;
     const double worklist_ms = TimeEngine(design, cfg, schedule,
-                                          SimEngine::kWorklist,
+                                          SimEngine::kWorklist, repeats,
                                           &worklist_result);
     const double event_ms = TimeEngine(design, cfg, schedule,
-                                       SimEngine::kEvent, &event_result);
+                                       SimEngine::kEvent, repeats,
+                                       &event_result);
     if (worklist_result.deadlocked || event_result.deadlocked ||
         worklist_result.cycles != event_result.cycles ||
         worklist_result.packets_delivered !=
@@ -146,7 +153,17 @@ double MeasureEventEngineSpeedup(BenchJsonWriter& json) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t repeats = 3;
+  bool no_speedup = false;
+  bench::FlagParser flags("bench_sim_latency_curve");
+  flags.AddSize("--repeats", &repeats);
+  flags.AddSwitch("--no-speedup", &no_speedup);
+  flags.Parse(argc, argv);
+  if (repeats == 0) {
+    flags.Fail("--repeats must be >= 1");
+  }
+
   std::cout << "=== E9: latency vs offered load, D36_8 @ 14 switches "
                "(5-flit packets, Bernoulli) ===\n\n";
   const auto b = MakeBenchmark(SocBenchmarkId::kD36_8);
@@ -190,8 +207,14 @@ int main() {
                "saturation, not deadlock. The removal design achieves "
                "this with a fraction of the ordering design's VCs.\n";
 
+  if (no_speedup) {
+    // Latency-curve-only run for quick local iteration; no BENCH rows
+    // are written, so a baseline compare against this run would fail
+    // loudly instead of silently passing on missing coverage.
+    return 0;
+  }
   BenchJsonWriter json("sim_latency_curve");
-  const double min_speedup = MeasureEventEngineSpeedup(json);
+  const double min_speedup = MeasureEventEngineSpeedup(json, repeats);
   const std::string path = json.Write();
   if (!path.empty()) {
     std::cout << "rows written to " << path << "\n";

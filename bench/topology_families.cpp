@@ -18,6 +18,12 @@
 // Exit code 0 iff every treated design certifies deadlock-free AND the
 // deliberately cyclic rows (torus/ring under uniform traffic) really
 // did require cycle breaking.
+//
+// Flags:
+//   --uniform-fanout N  flows per core under the uniform pattern
+//                       (default 4 — the baseline-gated density; lower
+//                       values may legitimately fail the must-be-cyclic
+//                       assertion)
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -41,13 +47,15 @@ struct FamilyPoint {
   std::string size_label;
 };
 
-std::vector<FamilyPoint> MakePoints() {
+std::vector<FamilyPoint> MakePoints(std::size_t uniform_fanout) {
   std::vector<FamilyPoint> points;
-  const auto add = [&points](gen::GeneratorSpec spec,
-                             const std::string& size_label) {
-    // Fanout 4 keeps the uniform pattern dense enough that wrapped
-    // shortest-way routing on the torus/ring points is reliably cyclic.
-    spec.uniform_fanout = 4;
+  const auto add = [&points, uniform_fanout](gen::GeneratorSpec spec,
+                                             const std::string& size_label) {
+    // The default fanout 4 keeps the uniform pattern dense enough that
+    // wrapped shortest-way routing on the torus/ring points is reliably
+    // cyclic; lower values exercise the sparse regime (and may fail the
+    // must-be-cyclic assertion by design).
+    spec.uniform_fanout = uniform_fanout;
     for (const gen::TrafficPattern pattern : gen::AllPatterns()) {
       spec.pattern = pattern;
       points.push_back({spec, size_label});
@@ -88,7 +96,15 @@ std::vector<FamilyPoint> MakePoints() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t uniform_fanout = 4;
+  bench::FlagParser flags("bench_topology_families");
+  flags.AddSize("--uniform-fanout", &uniform_fanout);
+  flags.Parse(argc, argv);
+  if (uniform_fanout == 0) {
+    flags.Fail("--uniform-fanout must be >= 1");
+  }
+
   std::cout << "=== E11: standard topology families, classical routing "
                "===\n\n";
   BenchJsonWriter json("topology_families");
@@ -116,7 +132,7 @@ int main() {
     return aggregates.back().second;
   };
 
-  for (const FamilyPoint& point : MakePoints()) {
+  for (const FamilyPoint& point : MakePoints(uniform_fanout)) {
     const std::string family = gen::FamilyName(point.spec.family);
     const std::string pattern = gen::PatternName(point.spec.pattern);
     const NocDesign base = gen::GenerateStandardDesign(point.spec);

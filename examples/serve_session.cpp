@@ -9,8 +9,8 @@
 //   $ ./examples/serve_session
 //
 // The same messages work over stdin/stdout against the nocdr_serve
-// binary; see examples/serve_session_requests.jsonl and the README's
-// "Streaming reconfiguration sessions" section.
+// binary; see examples/serve_session_requests.jsonl and
+// docs/PROTOCOL.md.
 #include <cstdint>
 #include <iostream>
 

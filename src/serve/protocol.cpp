@@ -239,6 +239,9 @@ CertRequest ParseCertify(const JsonValue& json, int protocol_version) {
   if (const JsonValue* value = json.Find("return_design")) {
     request.return_design = value->AsBool();
   }
+  if (const JsonValue* value = json.Find("class")) {
+    request.priority_class = value->AsString();
+  }
   return request;
 }
 
@@ -379,6 +382,9 @@ std::string RequestToJsonLine(const CertRequest& request) {
       .Set("max_iterations", request.options.max_iterations);
   json.SetRaw("options", options.Dump());
   json.Set("treat", request.treat).Set("return_design", request.return_design);
+  if (!request.priority_class.empty()) {
+    json.Set("class", request.priority_class);
+  }
   return json.Dump();
 }
 

@@ -50,8 +50,8 @@
 // epoch number, the delta fields of the operation and the epoch's
 // certificate + content-addressed key. Requests without a
 // protocol_version field are v1; v1 requests must not carry "type".
-// The README's "Streaming reconfiguration sessions" section documents
-// the full grammar.
+// docs/PROTOCOL.md documents the full grammar, with examples
+// machine-checked against this codec by tools/docs_check.cpp.
 #pragma once
 
 #include <string>

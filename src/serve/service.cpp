@@ -197,10 +197,19 @@ CertificationService::CertificationService(ServiceConfig config,
       certifier_(std::move(certifier)),
       cache_(config.cache),
       front_(config.front_cache),
-      coalescer_(CoalescerConfig{config.threads, config.max_pending}) {
+      coalescer_(CoalescerConfig{config.threads, config.max_pending}),
+      admission_(config.admission),
+      epoch_(std::chrono::steady_clock::now()) {
   if (!certifier_) {
     certifier_ = ComputeCertification;
   }
+}
+
+std::uint64_t CertificationService::NowUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
 }
 
 CertResponse CertificationService::Guarded(
@@ -360,6 +369,22 @@ CertResponse CertificationService::ServeMaterialized(
     return response;
   }
 
+  // Token-budget admission sits in front of the coalescer, on misses
+  // only: a hit costs no compute, so the fast paths above never charge
+  // the budget. The rejection is the same structured "overloaded" shape
+  // as an in-flight-bound rejection — clients cannot tell which policy
+  // said no, and both speak v1 and v2 unchanged.
+  if (!admission_.TryAdmit(request.priority_class, sched::EstimateCost(design),
+                           NowUs())) {
+    response.status = ServeStatus::kOverloaded;
+    response.error = MakeError(ErrorCode::kOverloaded,
+                               "admission budget exhausted; retry later");
+    response.cache_outcome = CacheOutcome::kNone;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    return response;
+  }
+
   // Slow path: re-probe + single-flight under the coalescer lock. The
   // factory defers the design/request copies to the one leader; the
   // followers a duplicate burst produces never pay them.
@@ -443,6 +468,7 @@ ServiceStats CertificationService::Stats() const {
   stats.pool_backlog = coalescer_.PoolBacklog();
   stats.cache = cache_.Stats();
   stats.front = front_.Stats();
+  stats.admission_classes = admission_.Counters();
   return stats;
 }
 

@@ -38,6 +38,7 @@
 // binary expose the same semantics over stdin/stdout.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -47,6 +48,7 @@
 #include "gen/generators.h"
 #include "serve/cert_cache.h"
 #include "serve/coalescer.h"
+#include "serve/sched.h"
 #include "valid/campaign.h"
 
 namespace nocdr::serve {
@@ -91,6 +93,11 @@ struct CertRequest : DesignSpec {
   bool treat = true;
   /// Include the treated design text in the response payload.
   bool return_design = false;
+  /// Admission/scheduling class (protocol field "class"). Routes the
+  /// request through its class's token bucket and fairness counters;
+  /// empty means sched::kDefaultClass. Never part of the cache key —
+  /// the payload is class-independent.
+  std::string priority_class;
 };
 
 enum class ServeStatus {
@@ -179,6 +186,9 @@ struct ServiceStats {
   CacheStats cache;
   /// The raw-request fingerprint memo in front of it.
   CacheStats front;
+  /// Per-class admission fairness split (serve/sched.h); accumulates
+  /// even when the token policy is disabled.
+  std::vector<sched::ClassCounters> admission_classes;
 };
 
 struct ServiceConfig {
@@ -194,6 +204,11 @@ struct ServiceConfig {
   /// recomputes inline on the caller thread. The bench's recompute
   /// baseline.
   bool cache_enabled = true;
+  /// Token-budget admission policy in front of the coalescer (see
+  /// serve/sched.h). Disabled by default: only the in-flight bound
+  /// (max_pending) rejects. Applies to cache misses — hits carry no
+  /// compute cost and always pass.
+  sched::AdmissionConfig admission;
   /// Size envelope for kSourceSeed requests (valid::GenerateTrialDesign).
   valid::DesignEnvelope envelope;
 };
@@ -261,11 +276,17 @@ class CertificationService {
   CertResponse Guarded(const CertRequest& request,
                        const std::function<CertResponse()>& inner);
 
+  /// Microseconds since service construction — the live clock mapped
+  /// onto the sched layer's explicit now_us interface.
+  std::uint64_t NowUs() const;
+
   ServiceConfig config_;
   Certifier certifier_;
   ShardedCertCache cache_;
   ShardedLruCache<FrontTarget> front_;
   RequestCoalescer coalescer_;
+  sched::AdmissionController admission_;
+  std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;

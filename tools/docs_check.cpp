@@ -1,0 +1,162 @@
+// nocdr_docs_check: keeps docs/PROTOCOL.md honest against the codec.
+//
+// docs/PROTOCOL.md promises that every fenced block tagged `jsonl` is
+// machine-checked. This tool is that check: it extracts each line of
+// every ```jsonl block and validates it against the *real* protocol
+// implementation, so the documentation cannot drift from the code:
+//
+//   * a line without a "status" field is a request: it must parse via
+//     serve::ParseMessageLine (the exact entry point nocdr_serve uses);
+//   * a line with a "status" field is a response: it must be valid
+//     JSON, its status one of "ok" / "overloaded" / "error", any
+//     non-ok line must carry an {code, message} error object whose
+//     code serve::ParseErrorCode accepts, and a v2 "type" must be a
+//     known message type.
+//
+// Blocks tagged anything else (json, text, sh) are prose and skipped.
+// A minimum checked-line count guards against the failure mode where a
+// fence tag is renamed and the gate silently checks nothing.
+//
+//   ./nocdr_docs_check ../docs/PROTOCOL.md
+//
+// Exit code: 0 all examples valid, 1 any drift (each offender printed
+// with its file:line), 2 usage/IO error. Registered as the docs_drift
+// CTest test and run by the docs job in CI.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+
+using namespace nocdr;
+
+namespace {
+
+struct ExampleLine {
+  std::size_t line_number = 0;
+  std::string text;
+};
+
+/// Pulls every line of every ```jsonl fenced block out of \p markdown.
+std::vector<ExampleLine> ExtractJsonlExamples(std::istream& markdown) {
+  std::vector<ExampleLine> examples;
+  std::string line;
+  std::size_t line_number = 0;
+  bool in_jsonl = false;
+  while (std::getline(markdown, line)) {
+    ++line_number;
+    if (line.rfind("```", 0) == 0) {
+      const std::string tag = line.substr(3);
+      in_jsonl = !in_jsonl && tag == "jsonl";
+      continue;
+    }
+    if (in_jsonl && !line.empty()) {
+      examples.push_back({line_number, line});
+    }
+  }
+  return examples;
+}
+
+/// A documented response line: shape-checked against the protocol's
+/// stable names (the request side goes through the full parser).
+void CheckResponseLine(const JsonValue& json) {
+  const std::string& status = json.At("status").AsString();
+  if (status != serve::StatusName(serve::ServeStatus::kOk) &&
+      status != serve::StatusName(serve::ServeStatus::kOverloaded) &&
+      status != serve::StatusName(serve::ServeStatus::kError)) {
+    throw serve::ProtocolError(serve::ErrorCode::kInvalidRequest,
+                               "unknown response status \"" + status + "\"");
+  }
+  if (status != serve::StatusName(serve::ServeStatus::kOk)) {
+    const JsonValue& error = json.At("error");
+    serve::ParseErrorCode(error.At("code").AsString());
+    if (error.At("message").kind() != JsonValue::Kind::kString) {
+      throw serve::ProtocolError(serve::ErrorCode::kInvalidRequest,
+                                 "error.message must be a string");
+    }
+  }
+  if (const JsonValue* version = json.Find("protocol_version")) {
+    const std::uint64_t v = version->AsUint();
+    if (v != static_cast<std::uint64_t>(serve::kProtocolV1) &&
+        v != static_cast<std::uint64_t>(serve::kProtocolV2)) {
+      throw serve::ProtocolError(
+          serve::ErrorCode::kUnsupportedVersion,
+          "documented response claims protocol_version " + std::to_string(v));
+    }
+  }
+  if (const JsonValue* type = json.Find("type")) {
+    const std::string& name = type->AsString();
+    bool known = name == "certify";
+    for (const serve::SessionOp op :
+         {serve::SessionOp::kOpen, serve::SessionOp::kBurst,
+          serve::SessionOp::kSnapshot, serve::SessionOp::kClose}) {
+      known = known || name == serve::SessionOpName(op);
+    }
+    if (!known) {
+      throw serve::ProtocolError(serve::ErrorCode::kUnknownType,
+                                 "unknown response type \"" + name + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A fence tag rename must not silently turn the gate into a no-op:
+  // the real document carries well over this many checked lines.
+  constexpr std::size_t kMinimumExamples = 10;
+
+  const std::string path = argc > 1 ? argv[1] : "docs/PROTOCOL.md";
+  if (argc > 2) {
+    std::cerr << "usage: nocdr_docs_check [path/to/PROTOCOL.md]\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "nocdr_docs_check: cannot open " << path << "\n";
+    return 2;
+  }
+
+  const std::vector<ExampleLine> examples = ExtractJsonlExamples(file);
+  std::size_t requests = 0;
+  std::size_t responses = 0;
+  std::size_t failures = 0;
+  for (const ExampleLine& example : examples) {
+    try {
+      const JsonValue json = JsonValue::Parse(example.text);
+      if (json.Find("status") != nullptr) {
+        CheckResponseLine(json);
+        ++responses;
+      } else {
+        serve::ParseMessageLine(example.text);
+        ++requests;
+      }
+    } catch (const std::exception& e) {
+      ++failures;
+      std::cerr << path << ":" << example.line_number
+                << ": documented example does not survive the codec: "
+                << e.what() << "\n";
+    }
+  }
+
+  if (failures != 0) {
+    std::cerr << "nocdr_docs_check: " << failures << " of " << examples.size()
+              << " documented example line(s) drifted from the protocol "
+                 "implementation\n";
+    return 1;
+  }
+  if (examples.size() < kMinimumExamples) {
+    std::cerr << "nocdr_docs_check: only " << examples.size()
+              << " jsonl example line(s) found in " << path
+              << " (expected at least " << kMinimumExamples
+              << ") — were the fences retagged?\n";
+    return 1;
+  }
+  std::cout << "nocdr_docs_check: " << requests << " request and "
+            << responses << " response example line(s) in " << path
+            << " validated against the serve codec\n";
+  return 0;
+}

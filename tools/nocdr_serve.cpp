@@ -1,8 +1,8 @@
 // nocdr_serve: the certification service on stdin/stdout.
 //
-// Reads line-delimited JSON requests (see src/serve/protocol.h and the
-// README's "Certification service" / "Streaming reconfiguration
-// sessions" sections), serves them through the in-process
+// Reads line-delimited JSON requests (grammar: docs/PROTOCOL.md;
+// operator guide: docs/OPERATIONS.md), serves them through the
+// in-process
 // CertificationService — sharded certificate cache, single-flight
 // coalescing, bounded admission — and writes one response line per
 // request, in request order. Protocol v2 session messages
@@ -24,7 +24,19 @@
 //   --max-sessions N  admission bound on open sessions (default 256)
 //   --batch N         v1 lines served per pipelined batch (default 4x
 //                     the compute width; 1 = strictly sequential)
-//   --stats           print service + session counters to stderr at EOF
+//   --admission-tokens N      token-budget refill rate per second; > 0
+//                             enables the policy (default 0 = only the
+//                             in-flight bound rejects)
+//   --admission-burst N       bucket capacity in tokens (default 0 =
+//                             one second of refill)
+//   --admission-charge-cost   charge requests their design-size cost
+//                             (sched::EstimateCost) instead of 1 token
+//   --admission-classes SPEC  priority classes as CSV of
+//                             name:rank:weight, e.g.
+//                             "interactive:0:3,batch:1:1"; requests pick
+//                             a class with the "class" field
+//   --stats           print service + session counters (including the
+//                     per-class admission split) to stderr at EOF
 //
 // Stateless requests are batched so duplicates coalesce; a session
 // message flushes the pending batch first (responses stay in request
@@ -34,8 +46,10 @@
 // Exit code: 0 on EOF, 2 on bad flags. Request-level failures are
 // responses, not exit codes — a serving process must outlive them.
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,10 +70,36 @@ struct Options {
   bool stats = false;
 };
 
+/// Parses "name:rank:weight" CSV entries (rank and weight optional,
+/// defaulting to 0 and 1).
+std::vector<serve::sched::ClassConfig> ParseClasses(const std::string& spec) {
+  std::vector<serve::sched::ClassConfig> classes;
+  for (const std::string& entry : bench::SplitCsv(spec)) {
+    serve::sched::ClassConfig config;
+    const std::size_t first = entry.find(':');
+    config.name = entry.substr(0, first);
+    if (config.name.empty()) {
+      throw std::invalid_argument("--admission-classes: empty class name");
+    }
+    if (first != std::string::npos) {
+      const std::size_t second = entry.find(':', first + 1);
+      config.rank = std::stoi(entry.substr(first + 1, second - first - 1));
+      if (second != std::string::npos) {
+        config.weight = std::stod(entry.substr(second + 1));
+      }
+    }
+    classes.push_back(std::move(config));
+  }
+  return classes;
+}
+
 Options ParseOptions(int argc, char** argv) {
   Options opts;
   bench::FlagParser flags("nocdr_serve");
   std::size_t cache_mb = 64;
+  std::uint64_t admission_tokens = 0;
+  std::uint64_t admission_burst = 0;
+  std::string admission_classes;
   flags.AddSize("--threads", &opts.service.threads);
   flags.AddSize("--shards", &opts.service.cache.shards);
   flags.AddSize("--cache-entries", &opts.service.cache.max_entries);
@@ -67,9 +107,25 @@ Options ParseOptions(int argc, char** argv) {
   flags.AddSize("--max-pending", &opts.service.max_pending);
   flags.AddSize("--max-sessions", &opts.sessions.max_sessions);
   flags.AddSize("--batch", &opts.batch);
+  flags.AddUint64("--admission-tokens", &admission_tokens);
+  flags.AddUint64("--admission-burst", &admission_burst);
+  flags.AddSwitch("--admission-charge-cost",
+                  &opts.service.admission.charge_cost);
+  flags.AddString("--admission-classes", &admission_classes);
   flags.AddSwitch("--stats", &opts.stats);
   flags.Parse(argc, argv);
   opts.service.cache.max_bytes = cache_mb << 20;
+  opts.service.admission.enabled = admission_tokens > 0;
+  opts.service.admission.tokens_per_sec =
+      static_cast<double>(admission_tokens);
+  opts.service.admission.burst = static_cast<double>(admission_burst);
+  if (!admission_classes.empty()) {
+    try {
+      opts.service.admission.classes = ParseClasses(admission_classes);
+    } catch (const std::exception& e) {
+      flags.Fail(e.what());
+    }
+  }
   return opts;
 }
 
@@ -167,6 +223,15 @@ int main(int argc, char** argv) {
               << session_stats.bursts_infeasible << " infeasible, "
               << session_stats.epochs_served << " epochs served, "
               << session_stats.errors << " errors\n";
+    for (const serve::sched::ClassCounters& c : stats.admission_classes) {
+      if (c.requests == 0) {
+        continue;  // configured but never used
+      }
+      std::cerr << "nocdr_serve: class " << c.name << ": rank " << c.rank
+                << ", " << c.requests << " requests, " << c.admitted
+                << " admitted, " << c.rejected << " rejected, "
+                << c.cost_admitted << " cost units admitted\n";
+    }
   }
   return 0;
 }

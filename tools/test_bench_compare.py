@@ -93,6 +93,38 @@ class CleanAndRegressedRuns(GateHarness):
         )
         self.assertEqual(self.run_gate(), 0)  # above the floor
 
+    def test_latency_gate_is_one_sided(self):
+        # serve_load's p99 SLO gate: *_latency_us metrics are integers,
+        # but they are virtual-time measurements, not seed-exact counts.
+        # Growth past baseline*(1+0.25) fails; shrinking never does.
+        write_rows(
+            self.baseline_dir / "BENCH_serve_load.json",
+            [self.row(p99_latency_us=1000, mean_wait_us=400)],
+        )
+        write_rows(
+            self.fresh_dir / "BENCH_serve_load.json",
+            [self.row(p99_latency_us=1300, mean_wait_us=400)],
+        )
+        self.assertEqual(self.run_gate(), 1)  # 1300 > 1000 * 1.25
+        write_rows(
+            self.fresh_dir / "BENCH_serve_load.json",
+            [self.row(p99_latency_us=1200, mean_wait_us=400)],
+        )
+        self.assertEqual(self.run_gate(), 0)  # within tolerance
+        write_rows(
+            self.fresh_dir / "BENCH_serve_load.json",
+            [self.row(p99_latency_us=500, mean_wait_us=100)],
+        )
+        self.assertEqual(self.run_gate(), 0)  # improvements pass
+        write_rows(
+            self.fresh_dir / "BENCH_serve_load.json",
+            [self.row(p99_latency_us=1000, mean_wait_us=600)],
+        )
+        self.assertEqual(self.run_gate(), 1)  # *_wait_us gated the same way
+        self.assertEqual(
+            self.run_gate(["--latency-tolerance", "0.6"]), 0
+        )  # knob widens the gate
+
     def test_missing_fresh_row_fails(self):
         write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
         write_rows(
