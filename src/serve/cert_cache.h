@@ -1,4 +1,4 @@
-// Sharded LRU caching for the certification service.
+// Sharded in-memory LRU tier of the certification cache.
 //
 // The serving layer's core bet (and the kv-cache literature's): real
 // design-loop traffic is repeat-heavy — the same design is re-certified
@@ -10,28 +10,31 @@
 // CertifyDeadlockFreedom are seed-free), so a cached response is
 // bit-identical to a recomputed one, which tests/test_serve.cpp pins.
 //
-// ShardedLruCache is the one bounded-map primitive both cache levels of
-// the service share:
+// ShardedLruCache is the bounded in-memory implementation of the
+// CacheTier interface (serve/cache_tier.h); both memory levels of the
+// service are instantiations of it:
 //
-//   * the *certificate cache* (ShardedCertCache), content-addressed by
-//     CanonicalDesignDigest — the authoritative store, hit by any
-//     request naming the same certification problem in any
-//     representation;
+//   * the *certificate cache* — the memory tier of TieredCertCache
+//     (serve/disk_cache.h), content-addressed by
+//     CanonicalDesignDigest: the store hit by any request naming the
+//     same certification problem in any representation;
 //   * the *request fingerprint memo* in front of it (serve/service),
 //     keyed by the raw request bytes, which lets an exact repeat skip
 //     design materialization and canonicalization entirely — that skip,
 //     not the memoized removal run alone, is what makes a cache hit
 //     orders of magnitude cheaper than a recompute.
 //
-// Concurrency: the key space is split across shards by digest, each
-// shard owning one mutex, one hash index and one intrusive LRU list —
-// lookups for different keys rarely contend. Capacity is bounded both
-// by entry count and by payload bytes; eviction is strict LRU per
-// shard, oldest first.
+// Concurrency: the key space is split across shards by digest
+// (util::ShardRouter), each shard owning one mutex, one keyed slot map
+// and one intrusive LRU list — lookups for different keys rarely
+// contend. Capacity is bounded both by entry count and by payload
+// bytes; eviction is strict LRU per shard, oldest first.
 //
 // The 64-bit digest is not trusted alone: every entry stores the full
-// key text and lookups compare it, so a digest collision degrades to a
-// miss (or an entry replacement), never to serving the wrong value.
+// key text and lookups compare it (util::KeyedSlotMap owns that
+// protocol, shared with the disk tier's index), so a digest collision
+// degrades to a miss (or an entry replacement), never to serving the
+// wrong value.
 #pragma once
 
 #include <cstdint>
@@ -39,47 +42,21 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "serve/cache_tier.h"
+#include "util/keyed_lookup.h"
+
 namespace nocdr::serve {
-
-struct CacheConfig {
-  /// Shard count; rounded up to a power of two, at least 1.
-  std::size_t shards = 16;
-  /// Whole-cache entry bound (split evenly across shards, at least one
-  /// entry per shard).
-  std::size_t max_entries = 4096;
-  /// Whole-cache payload-byte bound (split evenly across shards). An
-  /// entry bigger than its shard's byte budget is never cached.
-  std::size_t max_bytes = 64ull << 20;
-};
-
-/// Monotonic counters plus a point-in-time occupancy snapshot. Hit and
-/// miss totals depend on request interleaving (a request racing a
-/// leader's insert is a coalesced join, not a hit); occupancy and
-/// eviction totals are deterministic for single-threaded request
-/// streams, which the bench's gated rows rely on.
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
-  /// Entries rejected outright because they exceed a shard's byte
-  /// budget on their own.
-  std::uint64_t oversize_rejections = 0;
-  std::size_t entries = 0;
-  std::size_t bytes = 0;
-};
 
 /// Bounded sharded LRU map from (digest, key text) to \p Value, which
 /// must provide `std::size_t PayloadBytes() const` for the byte bound.
 template <typename Value>
-class ShardedLruCache {
+class ShardedLruCache : public CacheTier<Value> {
  public:
   explicit ShardedLruCache(CacheConfig config = {})
-      : shards_(RoundUpPow2(config.shards < 1 ? 1 : config.shards)) {
-    shard_mask_ = shards_.size() - 1;
+      : router_(config.shards), shards_(router_.Count()) {
     max_entries_per_shard_ = config.max_entries / shards_.size();
     if (max_entries_per_shard_ == 0) {
       max_entries_per_shard_ = 1;
@@ -90,16 +67,13 @@ class ShardedLruCache {
     }
   }
 
-  ShardedLruCache(const ShardedLruCache&) = delete;
-  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
-
   /// Looks up \p digest, verifying \p key_text against the stored key.
   /// Counts a hit or a miss and refreshes the entry's LRU position.
   /// Returns a reference to the immutable entry (null = miss): values
   /// are shared, not copied, so a hit moves a refcount under the shard
   /// mutex instead of duplicating multi-KB certificate strings there.
   std::shared_ptr<const Value> Lookup(std::uint64_t digest,
-                                      const std::string& key_text) {
+                                      const std::string& key_text) override {
     return LookupImpl(digest, key_text, /*count_miss=*/true);
   }
 
@@ -107,14 +81,15 @@ class ShardedLruCache {
   /// that already counted its miss on the fast path must not count a
   /// second one, but a hit here (the racing leader completed in
   /// between) is a real served-from-cache outcome. Counts hits only.
-  std::shared_ptr<const Value> Revalidate(std::uint64_t digest,
-                                          const std::string& key_text) {
+  std::shared_ptr<const Value> Revalidate(
+      std::uint64_t digest, const std::string& key_text) override {
     return LookupImpl(digest, key_text, /*count_miss=*/false);
   }
 
   /// Inserts (or replaces) the entry for (\p digest, \p key_text), then
   /// evicts LRU-last entries until the shard is back under both bounds.
-  void Insert(std::uint64_t digest, std::string key_text, Value value) {
+  void Insert(std::uint64_t digest, std::string key_text,
+              Value value) override {
     Shard& shard = ShardFor(digest);
     const std::size_t bytes =
         value.PayloadBytes() + key_text.size() + kEntryOverheadBytes;
@@ -124,33 +99,29 @@ class ShardedLruCache {
       ++shard.oversize_rejections;
       return;
     }
-    const auto it = shard.index.find(digest);
-    if (it != shard.index.end()) {
-      // Same digest resident: replace in place (identical key text
-      // means a racing duplicate publish; different text is a digest
-      // collision and the newcomer wins — either way the old payload
-      // goes).
-      shard.bytes -= it->second->bytes;
-      shard.lru.erase(it->second);
-      shard.index.erase(it);
-    }
     shard.lru.push_front(
         Entry{digest, std::move(key_text), std::move(shared), bytes});
-    shard.index[digest] = shard.lru.begin();
+    // Same digest resident: replace (identical key text means a racing
+    // duplicate publish; different text is a digest collision and the
+    // newcomer wins — either way the old payload goes).
+    if (const auto displaced = shard.index.Put(digest, shard.lru.begin())) {
+      shard.bytes -= (*displaced)->bytes;
+      shard.lru.erase(*displaced);
+    }
     shard.bytes += bytes;
     ++shard.insertions;
     while (shard.lru.size() > max_entries_per_shard_ ||
            shard.bytes > max_bytes_per_shard_) {
       const Entry& victim = shard.lru.back();
       shard.bytes -= victim.bytes;
-      shard.index.erase(victim.digest);
+      shard.index.Erase(victim.digest);
       shard.lru.pop_back();
       ++shard.evictions;
     }
   }
 
   /// Counters summed over all shards plus current occupancy.
-  [[nodiscard]] CacheStats Stats() const {
+  [[nodiscard]] CacheStats Stats() const override {
     CacheStats stats;
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mutex);
@@ -165,6 +136,18 @@ class ShardedLruCache {
     return stats;
   }
 
+  /// Drops every entry; the lifetime counters stay (evictions are not
+  /// incremented — a Clear is an operator action, not capacity
+  /// pressure).
+  void Clear() override {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.lru.clear();
+      shard.index.Clear();
+      shard.bytes = 0;
+    }
+  }
+
   [[nodiscard]] std::size_t ShardCount() const { return shards_.size(); }
 
  private:
@@ -175,14 +158,16 @@ class ShardedLruCache {
     std::size_t bytes = 0;
   };
 
+  using EntryIter = typename std::list<Entry>::iterator;
+
   struct Shard {
     mutable std::mutex mutex;
     /// Front = most recently used.
     std::list<Entry> lru;
-    /// digest -> entry; a digest collision with a different key text
-    /// replaces the resident entry on insert and misses on lookup.
-    std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
-        index;
+    /// digest -> entry, with the shared collision protocol: a digest
+    /// collision with a different key text replaces the resident entry
+    /// on insert and misses on lookup.
+    util::KeyedSlotMap<EntryIter> index;
     std::size_t bytes = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -195,16 +180,8 @@ class ShardedLruCache {
   /// index slot and key text live outside Value.
   static constexpr std::size_t kEntryOverheadBytes = 128;
 
-  static std::size_t RoundUpPow2(std::size_t n) {
-    std::size_t p = 1;
-    while (p < n) {
-      p <<= 1;
-    }
-    return p;
-  }
-
   Shard& ShardFor(std::uint64_t digest) {
-    return shards_[digest & shard_mask_];
+    return shards_[router_.IndexFor(digest)];
   }
 
   std::shared_ptr<const Value> LookupImpl(std::uint64_t digest,
@@ -212,21 +189,24 @@ class ShardedLruCache {
                                           bool count_miss) {
     Shard& shard = ShardFor(digest);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(digest);
-    if (it == shard.index.end() || it->second->key_text != key_text) {
+    EntryIter* slot = shard.index.Find(
+        digest, key_text,
+        [](const EntryIter& entry) { return &entry->key_text; });
+    if (slot == nullptr) {
       if (count_miss) {
         ++shard.misses;
       }
       return nullptr;
     }
     ++shard.hits;
-    // Refresh recency: splice the entry to the front of the LRU list.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->value;
+    // Refresh recency: splice the entry to the front of the LRU list
+    // (iterators stay valid, so the index slot needs no update).
+    shard.lru.splice(shard.lru.begin(), shard.lru, *slot);
+    return (*slot)->value;
   }
 
+  util::ShardRouter router_;
   std::vector<Shard> shards_;
-  std::uint64_t shard_mask_ = 0;
   std::size_t max_entries_per_shard_ = 0;
   std::size_t max_bytes_per_shard_ = 0;
 };
@@ -256,8 +236,9 @@ struct CachedCertification {
   }
 };
 
-/// The authoritative certificate store, content-addressed by
-/// CanonicalDesignDigest (util/canonical) + removal options.
+/// The in-memory certificate store, content-addressed by
+/// CanonicalDesignDigest (util/canonical) + removal options. The
+/// memory tier of TieredCertCache (serve/disk_cache.h).
 using ShardedCertCache = ShardedLruCache<CachedCertification>;
 
 }  // namespace nocdr::serve

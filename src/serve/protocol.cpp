@@ -152,6 +152,24 @@ gen::GeneratorSpec ParseGenerator(const JsonValue& json) {
   return spec;
 }
 
+/// One CacheStats as one JSON object — the same shape for every tier
+/// (front memo, memory, disk), zeros included, so clients never probe
+/// for optional fields.
+JsonObject CacheStatsToJson(const CacheStats& stats) {
+  JsonObject json;
+  json.Set("hits", stats.hits)
+      .Set("misses", stats.misses)
+      .Set("insertions", stats.insertions)
+      .Set("evictions", stats.evictions)
+      .Set("oversize_rejections", stats.oversize_rejections)
+      .Set("promotions", stats.promotions)
+      .Set("demotions", stats.demotions)
+      .Set("corrupt_skipped", stats.corrupt_skipped)
+      .Set("entries", stats.entries)
+      .Set("bytes", stats.bytes);
+  return json;
+}
+
 /// The {"code":...,"message":...} object every failure response embeds.
 JsonObject ErrorToJson(const ErrorInfo& error) {
   JsonObject json;
@@ -324,6 +342,14 @@ ServeMessage ParseMessageInner(const std::string& line) {
       type_value == nullptr ? "certify" : type_value->AsString();
   if (type == "certify") {
     message.certify = ParseCertify(json, version);
+    return message;
+  }
+  if (type == "stats") {
+    message.is_stats = true;
+    message.stats.protocol_version = version;
+    if (const JsonValue* value = json.Find("id")) {
+      message.stats.id = value->AsString();
+    }
     return message;
   }
   message.is_session = true;
@@ -586,6 +612,142 @@ std::string SessionResponseToJsonLine(const SessionResponse& response) {
   return json.Dump();
 }
 
+std::string StatsRequestToJsonLine(const StatsRequest& request) {
+  JsonObject json;
+  json.Set("protocol_version", request.protocol_version).Set("type", "stats");
+  if (!request.id.empty()) {
+    json.Set("id", request.id);
+  }
+  return json.Dump();
+}
+
+std::string StatsResponseToJsonLine(const StatsRequest& request,
+                                    const ServiceStats& service_stats,
+                                    const SessionServiceStats& session_stats) {
+  JsonObject json;
+  json.Set("protocol_version", request.protocol_version).Set("type", "stats");
+  if (!request.id.empty()) {
+    json.Set("id", request.id);
+  }
+  json.Set("status", StatusName(ServeStatus::kOk))
+      .Set("requests", service_stats.requests)
+      .Set("hits", service_stats.hits)
+      .Set("computations", service_stats.computations)
+      .Set("coalesced", service_stats.coalesced)
+      .Set("rejected", service_stats.rejected)
+      .Set("errors", service_stats.errors)
+      .Set("pool_backlog", service_stats.pool_backlog)
+      .SetRaw("front", CacheStatsToJson(service_stats.front).Dump())
+      .SetRaw("cache", CacheStatsToJson(service_stats.cache).Dump())
+      .SetRaw("disk", CacheStatsToJson(service_stats.disk).Dump());
+  JsonObject sessions;
+  sessions.Set("opened", session_stats.opened)
+      .Set("closed", session_stats.closed)
+      .Set("open_rejected", session_stats.open_rejected)
+      .Set("bursts_applied", session_stats.bursts_applied)
+      .Set("bursts_infeasible", session_stats.bursts_infeasible)
+      .Set("epochs_served", session_stats.epochs_served)
+      .Set("errors", session_stats.errors)
+      .Set("live", session_stats.live_sessions);
+  json.SetRaw("sessions", sessions.Dump());
+  std::string classes = "[";
+  bool first = true;
+  for (const sched::ClassCounters& c : service_stats.admission_classes) {
+    JsonObject item;
+    item.Set("name", c.name)
+        .Set("rank", c.rank)
+        .Set("requests", c.requests)
+        .Set("admitted", c.admitted)
+        .Set("rejected", c.rejected)
+        .Set("cost_admitted", c.cost_admitted);
+    if (!first) {
+      classes += ",";
+    }
+    first = false;
+    classes += item.Dump();
+  }
+  classes += "]";
+  json.SetRaw("admission_classes", classes);
+  return json.Dump();
+}
+
+std::string StatsTextFromJson(const std::string& response_line,
+                              const std::string& prefix) {
+  JsonValue json;
+  try {
+    json = JsonValue::Parse(response_line);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+  }
+  try {
+    const JsonValue* type = json.Find("type");
+    if (type == nullptr || type->AsString() != "stats") {
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "StatsTextFromJson: not a stats response line");
+    }
+    const auto u = [&](const JsonValue& node, const char* key) {
+      return node.At(key).AsUint();
+    };
+    std::string text;
+    text += prefix + std::to_string(u(json, "requests")) + " requests: " +
+            std::to_string(u(json, "hits")) + " hits, " +
+            std::to_string(u(json, "computations")) + " computed, " +
+            std::to_string(u(json, "coalesced")) + " coalesced, " +
+            std::to_string(u(json, "rejected")) + " rejected, " +
+            std::to_string(u(json, "errors")) + " errors\n";
+    const auto tier = [&](const char* key, const char* label) {
+      const JsonValue& node = json.At(key);
+      std::string line = prefix + std::string(label) + ": " +
+                         std::to_string(u(node, "entries")) + " entries / " +
+                         std::to_string(u(node, "bytes")) + " bytes, " +
+                         std::to_string(u(node, "hits")) + " hits, " +
+                         std::to_string(u(node, "insertions")) +
+                         " insertions, " +
+                         std::to_string(u(node, "evictions")) + " evictions";
+      if (u(node, "promotions") != 0 || u(node, "demotions") != 0) {
+        line += ", " + std::to_string(u(node, "promotions")) +
+                " promotions, " + std::to_string(u(node, "demotions")) +
+                " demotions";
+      }
+      if (u(node, "corrupt_skipped") != 0) {
+        line += ", " + std::to_string(u(node, "corrupt_skipped")) +
+                " corrupt skipped";
+      }
+      return line + "\n";
+    };
+    text += tier("front", "front memo");
+    text += tier("cache", "cache");
+    text += tier("disk", "disk");
+    const JsonValue& sessions = json.At("sessions");
+    text += prefix + "sessions: " + std::to_string(u(sessions, "opened")) +
+            " opened, " + std::to_string(u(sessions, "closed")) + " closed, " +
+            std::to_string(u(sessions, "live")) + " live, " +
+            std::to_string(u(sessions, "open_rejected")) + " rejected, " +
+            std::to_string(u(sessions, "bursts_applied")) +
+            " bursts applied, " +
+            std::to_string(u(sessions, "bursts_infeasible")) +
+            " infeasible, " + std::to_string(u(sessions, "epochs_served")) +
+            " epochs served, " + std::to_string(u(sessions, "errors")) +
+            " errors\n";
+    for (const JsonValue& c : json.At("admission_classes").Items()) {
+      if (u(c, "requests") == 0) {
+        continue;  // configured but never used
+      }
+      text += prefix + "class " + c.At("name").AsString() + ": rank " +
+              std::to_string(c.At("rank").AsUint()) + ", " +
+              std::to_string(u(c, "requests")) + " requests, " +
+              std::to_string(u(c, "admitted")) + " admitted, " +
+              std::to_string(u(c, "rejected")) + " rejected, " +
+              std::to_string(u(c, "cost_admitted")) + " cost units admitted\n";
+    }
+    return text;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+  }
+}
+
 std::string ErrorResponseLine(int protocol_version, const std::string& id,
                               ErrorCode code, const std::string& message) {
   JsonObject json;
@@ -599,6 +761,10 @@ std::string ErrorResponseLine(int protocol_version, const std::string& id,
 }
 
 std::string ServeDispatcher::Handle(const ServeMessage& message) {
+  if (message.is_stats) {
+    return StatsResponseToJsonLine(message.stats, service_.Stats(),
+                                   sessions_.Stats());
+  }
   if (message.is_session) {
     return SessionResponseToJsonLine(sessions_.Handle(message.session));
   }

@@ -46,6 +46,16 @@
 //   {"protocol_version":2,"type":"session_snapshot","id":"c3","session":"s1"}
 //   {"protocol_version":2,"type":"session_close","id":"c4","session":"s1"}
 //
+// and one introspection type, "stats", which returns the service's
+// counters — request totals, every cache tier (front memo, memory,
+// disk), session totals and the per-class admission split — as one
+// structured JSON response:
+//
+//   {"protocol_version":2,"type":"stats","id":"c5"}
+//
+// The `nocdr_serve --stats` operator text is *rendered from* that JSON
+// response (StatsTextFromJson), so the two surfaces cannot drift.
+//
 // Session responses echo the message type and carry the session id,
 // epoch number, the delta fields of the operation and the epoch's
 // certificate + content-addressed key. Requests without a
@@ -76,12 +86,22 @@ class ProtocolError : public InvalidModelError {
   ErrorCode code_;
 };
 
+/// The v2 introspection request: carries nothing but its id. The
+/// response is the whole ServiceStats + SessionServiceStats picture.
+struct StatsRequest {
+  int protocol_version = kProtocolV2;
+  std::string id;
+};
+
 /// One parsed protocol line of either version: a stateless certify
-/// request or a session message.
+/// request, a session message or a stats request. At most one of
+/// is_session / is_stats is set; neither means certify.
 struct ServeMessage {
   bool is_session = false;
-  CertRequest certify;     // valid iff !is_session
+  bool is_stats = false;
+  CertRequest certify;     // valid iff !is_session && !is_stats
   SessionRequest session;  // valid iff is_session
+  StatsRequest stats;      // valid iff is_stats
 };
 
 /// Parses one line of either protocol version. Throws ProtocolError on
@@ -108,6 +128,26 @@ std::string SessionRequestToJsonLine(const SessionRequest& request);
 
 /// Renders \p response as one v2 protocol line.
 std::string SessionResponseToJsonLine(const SessionResponse& response);
+
+/// Renders \p request as one v2 protocol line
+/// ({"protocol_version":2,"type":"stats",...}).
+std::string StatsRequestToJsonLine(const StatsRequest& request);
+
+/// Renders the stats response line: the full counter picture —
+/// request totals, the front / memory-cache / disk tiers (one
+/// CacheStats shape each), session totals and the per-class admission
+/// split.
+std::string StatsResponseToJsonLine(const StatsRequest& request,
+                                    const ServiceStats& service_stats,
+                                    const SessionServiceStats& session_stats);
+
+/// Renders the `nocdr_serve --stats` operator text from a stats
+/// *response line* (each output line prefixed with \p prefix). The
+/// text is derived from the JSON — never assembled from the structs
+/// directly — so the human and machine surfaces cannot drift. Throws
+/// ProtocolError on a line that is not a stats response.
+std::string StatsTextFromJson(const std::string& response_line,
+                              const std::string& prefix);
 
 /// Renders the structured-error response line a malformed input line
 /// gets: {"protocol_version":V,"id":...,"status":"error",

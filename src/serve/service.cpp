@@ -102,6 +102,23 @@ ErrorInfo MakeError(ErrorCode code, std::string message) {
   return ErrorInfo{code, std::move(message)};
 }
 
+/// Builds the persistent tier when the config names a directory; null
+/// keeps the service memory-only. Compaction (when requested) runs
+/// here, before the first request is served.
+std::unique_ptr<DiskCache> MakeDiskTier(const ServiceConfig& config) {
+  if (config.cache_dir.empty()) {
+    return nullptr;
+  }
+  DiskCacheConfig disk_config;
+  disk_config.directory = config.cache_dir;
+  disk_config.max_bytes = config.disk_cache_bytes;
+  auto disk = std::make_unique<DiskCache>(disk_config);
+  if (config.cache_compact) {
+    disk->Compact();
+  }
+  return disk;
+}
+
 void FillPayload(CertResponse& response, const CachedCertification& value,
                  const CertRequest& request) {
   response.status = ServeStatus::kOk;
@@ -195,7 +212,7 @@ CertificationService::CertificationService(ServiceConfig config,
                                            Certifier certifier)
     : config_(config),
       certifier_(std::move(certifier)),
-      cache_(config.cache),
+      cache_(config.cache, MakeDiskTier(config)),
       front_(config.front_cache),
       coalescer_(CoalescerConfig{config.threads, config.max_pending}),
       admission_(config.admission),
@@ -468,6 +485,7 @@ ServiceStats CertificationService::Stats() const {
   stats.pool_backlog = coalescer_.PoolBacklog();
   stats.cache = cache_.Stats();
   stats.front = front_.Stats();
+  stats.disk = cache_.DiskStats();
   stats.admission_classes = admission_.Counters();
   return stats;
 }

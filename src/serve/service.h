@@ -31,6 +31,13 @@
 // memo stores only the mapping to the canonical key; if the canonical
 // entry was evicted, the request falls back to the full path.
 //
+// With ServiceConfig::cache_dir set, the certificate cache is the
+// tiered composite of serve/disk_cache.h — memory fronting a
+// persistent content-addressed store — so warmth survives process
+// restarts and additional worker processes can mount the same
+// directory read-through. The determinism contract is unchanged: a
+// disk hit re-verifies its checksum and full key text before serving.
+//
 // Backpressure: when the admission bound is full, novel requests get
 // ServeStatus::kOverloaded immediately instead of queueing unboundedly;
 // duplicate-in-flight requests always join their leader (they add no
@@ -48,6 +55,7 @@
 #include "gen/generators.h"
 #include "serve/cert_cache.h"
 #include "serve/coalescer.h"
+#include "serve/disk_cache.h"
 #include "serve/sched.h"
 #include "valid/campaign.h"
 
@@ -182,10 +190,15 @@ struct ServiceStats {
   std::uint64_t rejected = 0;
   std::uint64_t errors = 0;
   std::size_t pool_backlog = 0;
-  /// The authoritative certificate cache.
+  /// The authoritative certificate cache (memory tier; promotions and
+  /// demotions count the tier-crossing traffic when a disk tier is
+  /// configured).
   CacheStats cache;
   /// The raw-request fingerprint memo in front of it.
   CacheStats front;
+  /// The persistent disk tier (serve/disk_cache); all-zero when the
+  /// service runs memory-only.
+  CacheStats disk;
   /// Per-class admission fairness split (serve/sched.h); accumulates
   /// even when the token policy is disabled.
   std::vector<sched::ClassCounters> admission_classes;
@@ -211,6 +224,17 @@ struct ServiceConfig {
   sched::AdmissionConfig admission;
   /// Size envelope for kSourceSeed requests (valid::GenerateTrialDesign).
   valid::DesignEnvelope envelope;
+  /// Directory of the persistent certificate-cache tier
+  /// (serve/disk_cache). Empty = memory-only (the historical
+  /// behavior). Non-empty: the certificate cache becomes memory
+  /// fronting this disk store — warmth survives restarts, and a fleet
+  /// of workers can mount one directory (one appender, many readers).
+  std::string cache_dir;
+  /// Byte bound of the disk store (segment files on disk).
+  std::size_t disk_cache_bytes = 1ull << 30;
+  /// Compact the disk store at open (drop superseded and damaged
+  /// records) before serving.
+  bool cache_compact = false;
 };
 
 class CertificationService {
@@ -282,7 +306,7 @@ class CertificationService {
 
   ServiceConfig config_;
   Certifier certifier_;
-  ShardedCertCache cache_;
+  TieredCertCache cache_;
   ShardedLruCache<FrontTarget> front_;
   RequestCoalescer coalescer_;
   sched::AdmissionController admission_;

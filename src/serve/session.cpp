@@ -417,7 +417,11 @@ void SessionService::PublishEpoch(Session& session,
     // Publish through the service: the epoch's certificate lands in the
     // shared cert cache under the canonical key of the *current* design
     // — stateless clients re-shipping the session's snapshot text hit
-    // it, and no earlier epoch's key can ever resolve to it.
+    // it, and no earlier epoch's key can ever resolve to it. With a
+    // persistent tier configured (ServiceConfig::cache_dir) this same
+    // insert writes through to disk, so a restarted server serves the
+    // session's latest epoch — not a stale pre-burst one — warm: the
+    // epoch-versioned keys make every republication content-addressed.
     const CertResponse published = service_.ServeDesign(session.design, cert);
     if (published.status == ServeStatus::kOk) {
       session.key = published.key;

@@ -1,0 +1,141 @@
+// Digest-addressed keyed lookup shared by the certificate cache tiers.
+//
+// Every cache level of the certification service resolves the pair
+// (64-bit digest, full key text) the same way: the digest addresses a
+// slot, and the slot matches only if its full key text compares equal
+// to the query's — so a digest collision degrades to a miss (or, on
+// insert, a newcomer-wins replacement), never to serving the wrong
+// value. That protocol used to live twice, privately, inside
+// serve/cert_cache.h; the disk tier (serve/disk_cache) would have been
+// the third copy. It lives here instead so the tiers cannot drift.
+//
+// The twist that forces the shape below: the memory tier keeps every
+// key text resident, but the disk tier deliberately does not — its
+// in-memory index holds only (digest -> segment locator), and the full
+// key text is read back from the checksummed segment record during the
+// lookup itself. KeyedSlotMap therefore takes the key text through a
+// callable: the memory tier's returns a pointer to the resident
+// string, the disk tier's reads the record (returning nullptr when the
+// record turns out to be torn or bit-flipped, which is also a miss).
+//
+// ShardRouter is the companion primitive: power-of-two shard selection
+// by digest, shared by the memory tier's mutex sharding and the disk
+// tier's index sharding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace nocdr::util {
+
+/// Smallest power of two >= \p n, at least 1.
+inline std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// Digest -> shard routing over a power-of-two shard count. Both cache
+/// tiers split their key space with this, so an entry's shard is a
+/// stable function of its digest alone.
+class ShardRouter {
+ public:
+  /// Rounds \p shards up to a power of two, at least 1.
+  explicit ShardRouter(std::size_t shards)
+      : count_(RoundUpPow2(shards < 1 ? 1 : shards)), mask_(count_ - 1) {}
+
+  [[nodiscard]] std::size_t Count() const { return count_; }
+
+  [[nodiscard]] std::size_t IndexFor(std::uint64_t digest) const {
+    return static_cast<std::size_t>(digest & mask_);
+  }
+
+ private:
+  std::size_t count_;
+  std::uint64_t mask_;
+};
+
+/// One shard's digest-keyed slot map with the collision protocol both
+/// cache tiers share. Not internally synchronized: the owner brackets
+/// calls with its shard mutex, exactly as it brackets the rest of the
+/// shard state.
+template <typename Slot>
+class KeyedSlotMap {
+ public:
+  /// Resolves (\p digest, \p key_text): returns the slot stored under
+  /// the digest iff its full key text — obtained via
+  /// \p key_of(slot), which may read it from disk — compares equal to
+  /// \p key_text. \p key_of returns `const std::string*`; nullptr
+  /// means the stored key is unobtainable (a damaged disk record),
+  /// which is a miss like any text mismatch.
+  template <typename KeyOf>
+  Slot* Find(std::uint64_t digest, const std::string& key_text,
+             KeyOf&& key_of) {
+    const auto it = slots_.find(digest);
+    if (it == slots_.end()) {
+      return nullptr;
+    }
+    const std::string* stored = key_of(it->second);
+    if (stored == nullptr || *stored != key_text) {
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  /// Inserts (or replaces) the slot for \p digest and returns the
+  /// displaced slot, if any. Replacement is by digest alone — identical
+  /// key text means a duplicate publish, different text a digest
+  /// collision; either way the newcomer wins and the old slot's value
+  /// becomes unreachable (the collision loser can only ever miss).
+  std::optional<Slot> Put(std::uint64_t digest, Slot slot) {
+    const auto it = slots_.find(digest);
+    if (it == slots_.end()) {
+      slots_.emplace(digest, std::move(slot));
+      return std::nullopt;
+    }
+    std::optional<Slot> displaced(std::move(it->second));
+    it->second = std::move(slot);
+    return displaced;
+  }
+
+  /// Removes the slot for \p digest; false if absent.
+  bool Erase(std::uint64_t digest) { return slots_.erase(digest) != 0; }
+
+  /// Visits every (digest, slot) pair; \p fn may not mutate the map.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [digest, slot] : slots_) {
+      fn(digest, slot);
+    }
+  }
+
+  /// Removes every slot \p predicate(digest, slot) accepts; returns the
+  /// number removed (segment retirement in the disk tier).
+  template <typename Predicate>
+  std::size_t EraseIf(Predicate&& predicate) {
+    std::size_t erased = 0;
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      if (predicate(it->first, it->second)) {
+        it = slots_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+  [[nodiscard]] std::size_t Size() const { return slots_.size(); }
+
+  void Clear() { slots_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Slot> slots_;
+};
+
+}  // namespace nocdr::util

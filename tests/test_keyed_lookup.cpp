@@ -1,0 +1,122 @@
+// util/keyed_lookup: the digest-shard + full-key-text-compare protocol
+// shared by the memory and disk cache tiers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "util/keyed_lookup.h"
+
+namespace nocdr {
+namespace {
+
+using util::KeyedSlotMap;
+using util::RoundUpPow2;
+using util::ShardRouter;
+
+TEST(RoundUpPow2Test, KnownValues) {
+  EXPECT_EQ(RoundUpPow2(0), 1u);
+  EXPECT_EQ(RoundUpPow2(1), 1u);
+  EXPECT_EQ(RoundUpPow2(2), 2u);
+  EXPECT_EQ(RoundUpPow2(3), 4u);
+  EXPECT_EQ(RoundUpPow2(16), 16u);
+  EXPECT_EQ(RoundUpPow2(17), 32u);
+  EXPECT_EQ(RoundUpPow2(1000), 1024u);
+}
+
+TEST(ShardRouterTest, RoundsUpAndStaysInRange) {
+  const ShardRouter router(6);
+  EXPECT_EQ(router.Count(), 8u);
+  for (std::uint64_t digest = 0; digest < 1000; ++digest) {
+    EXPECT_LT(router.IndexFor(digest * 0x9E3779B97F4A7C15ull), 8u);
+  }
+  // Zero shards still routes (a one-shard cache is legal).
+  EXPECT_EQ(ShardRouter(0).Count(), 1u);
+  EXPECT_EQ(ShardRouter(0).IndexFor(12345), 0u);
+}
+
+TEST(ShardRouterTest, RoutingIsAStableFunctionOfDigestAlone) {
+  const ShardRouter a(16);
+  const ShardRouter b(16);
+  std::set<std::size_t> used;
+  for (std::uint64_t digest = 0; digest < 4096; ++digest) {
+    EXPECT_EQ(a.IndexFor(digest), b.IndexFor(digest));
+    used.insert(a.IndexFor(digest));
+  }
+  EXPECT_EQ(used.size(), 16u);  // low bits spread across every shard
+}
+
+/// key_of for slots that carry their key text inline (the memory-tier
+/// shape).
+const std::string* KeyOfPair(const std::pair<std::string, int>& slot) {
+  return &slot.first;
+}
+
+TEST(KeyedSlotMapTest, FindRequiresFullKeyTextMatch) {
+  KeyedSlotMap<std::pair<std::string, int>> map;
+  EXPECT_EQ(map.Find(7, "alpha", KeyOfPair), nullptr);
+  map.Put(7, {"alpha", 1});
+  auto* slot = map.Find(7, "alpha", KeyOfPair);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->second, 1);
+  // Same digest, different key text: a collision is a miss, never the
+  // resident value.
+  EXPECT_EQ(map.Find(7, "beta", KeyOfPair), nullptr);
+}
+
+TEST(KeyedSlotMapTest, UnobtainableKeyTextIsAMiss) {
+  KeyedSlotMap<int> map;
+  map.Put(3, 42);
+  // The disk tier's key_of reads the record from disk and returns
+  // nullptr when it turns out damaged; that must resolve as a miss.
+  const auto* slot =
+      map.Find(3, "anything", [](const int&) -> const std::string* {
+        return nullptr;
+      });
+  EXPECT_EQ(slot, nullptr);
+  EXPECT_EQ(map.Size(), 1u);  // Find never mutates
+}
+
+TEST(KeyedSlotMapTest, PutReplacesByDigestAndReturnsDisplaced) {
+  KeyedSlotMap<std::pair<std::string, int>> map;
+  EXPECT_FALSE(map.Put(9, {"k", 1}).has_value());
+  const auto displaced = map.Put(9, {"k", 2});  // duplicate publish
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->second, 1);
+  // Collision insert: the newcomer wins; the loser can only miss.
+  const auto displaced2 = map.Put(9, {"other", 3});
+  ASSERT_TRUE(displaced2.has_value());
+  EXPECT_EQ(displaced2->second, 2);
+  EXPECT_EQ(map.Find(9, "k", KeyOfPair), nullptr);
+  ASSERT_NE(map.Find(9, "other", KeyOfPair), nullptr);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(KeyedSlotMapTest, EraseForEachEraseIfAndClear) {
+  KeyedSlotMap<int> map;
+  for (int i = 0; i < 10; ++i) {
+    map.Put(static_cast<std::uint64_t>(i), i * i);
+  }
+  EXPECT_TRUE(map.Erase(3));
+  EXPECT_FALSE(map.Erase(3));
+  EXPECT_EQ(map.Size(), 9u);
+
+  int sum = 0;
+  map.ForEach([&](std::uint64_t, const int& value) { sum += value; });
+  EXPECT_EQ(sum, 0 + 1 + 4 + 16 + 25 + 36 + 49 + 64 + 81);
+
+  const std::size_t erased =
+      map.EraseIf([](std::uint64_t digest, const int&) {
+        return digest % 2 == 0;  // segment retirement's shape
+      });
+  EXPECT_EQ(erased, 5u);
+  EXPECT_EQ(map.Size(), 4u);
+
+  map.Clear();
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace nocdr

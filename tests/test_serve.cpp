@@ -610,5 +610,64 @@ TEST(ProtocolTest, ResponseLineEmbedsTheCertificate) {
   (void)ReadDesign(in);
 }
 
+TEST(ProtocolTest, StatsRequestRoundTripsThroughTheCodec) {
+  serve::StatsRequest request;
+  request.id = "s1";
+  const std::string line = serve::StatsRequestToJsonLine(request);
+  const serve::ServeMessage message = serve::ParseMessageLine(line);
+  EXPECT_TRUE(message.is_stats);
+  EXPECT_FALSE(message.is_session);
+  EXPECT_EQ(message.stats.id, "s1");
+  EXPECT_EQ(message.stats.protocol_version, serve::kProtocolV2);
+  // v1 must not grow a stats type silently.
+  EXPECT_THROW((void)serve::ParseMessageLine(R"({"type":"stats"})"),
+               InvalidModelError);
+}
+
+TEST(ProtocolTest, StatsResponseReportsEveryTierThroughTheRealDispatcher) {
+  CertificationService service;
+  serve::SessionService sessions(service);
+  serve::ServeDispatcher dispatcher(service, sessions);
+  // Work the service so the counters are nonzero: one computation, one
+  // warm hit.
+  const std::string certify =
+      serve::RequestToJsonLine(TextRequest("r1", MakeRingDesign(5, 2)));
+  (void)dispatcher.HandleLine(certify);
+  (void)dispatcher.HandleLine(certify);
+
+  const std::string response = dispatcher.HandleLine(
+      R"({"protocol_version":2,"type":"stats","id":"s1"})");
+  const JsonValue json = JsonValue::Parse(response);
+  EXPECT_EQ(json.At("type").AsString(), "stats");
+  EXPECT_EQ(json.At("id").AsString(), "s1");
+  EXPECT_EQ(json.At("status").AsString(), "ok");
+
+  // The JSON must agree with the in-process stats structs exactly.
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(json.At("requests").AsUint(), stats.requests);
+  EXPECT_EQ(json.At("hits").AsUint(), stats.hits);
+  EXPECT_EQ(json.At("computations").AsUint(), stats.computations);
+  EXPECT_EQ(json.At("cache").At("entries").AsUint(), stats.cache.entries);
+  EXPECT_EQ(json.At("cache").At("insertions").AsUint(),
+            stats.cache.insertions);
+  EXPECT_EQ(json.At("front").At("hits").AsUint(), stats.front.hits);
+  // Memory-only service: the disk tier reports, as all-zero.
+  EXPECT_EQ(json.At("disk").At("entries").AsUint(), 0u);
+  EXPECT_EQ(json.At("sessions").At("opened").AsUint(), 0u);
+  EXPECT_EQ(json.At("admission_classes").kind(), JsonValue::Kind::kArray);
+
+  // The operator text renders from this same JSON (drift-proof by
+  // construction) and carries the load-bearing numbers.
+  const std::string text = serve::StatsTextFromJson(response, "serve: ");
+  EXPECT_NE(text.find(std::to_string(stats.requests) + " requests"),
+            std::string::npos);
+  EXPECT_NE(text.find(std::to_string(stats.hits) + " hits"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve: sessions:"), std::string::npos);
+  // A certify response is not a stats line.
+  EXPECT_THROW((void)serve::StatsTextFromJson(certify, ""),
+               serve::ProtocolError);
+}
+
 }  // namespace
 }  // namespace nocdr

@@ -89,7 +89,7 @@ void CheckResponseLine(const JsonValue& json) {
   }
   if (const JsonValue* type = json.Find("type")) {
     const std::string& name = type->AsString();
-    bool known = name == "certify";
+    bool known = name == "certify" || name == "stats";
     for (const serve::SessionOp op :
          {serve::SessionOp::kOpen, serve::SessionOp::kBurst,
           serve::SessionOp::kSnapshot, serve::SessionOp::kClose}) {

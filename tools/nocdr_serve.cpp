@@ -35,20 +35,33 @@
 //                             name:rank:weight, e.g.
 //                             "interactive:0:3,batch:1:1"; requests pick
 //                             a class with the "class" field
-//   --stats           print service + session counters (including the
-//                     per-class admission split) to stderr at EOF
+//   --cache-dir DIR   persistent certificate-cache directory
+//                     (serve/disk_cache): warmth survives restarts,
+//                     and worker fleets share one directory (single
+//                     appender via its LOCK file, many readers)
+//   --disk-cache-bytes N      disk store byte bound (default 1 GiB);
+//                             whole segments are retired oldest-first
+//   --cache-compact   compact the disk store at open (drop superseded
+//                     and damaged records) before serving
+//   --stats           print service + session counters (every cache
+//                     tier and the per-class admission split) to
+//                     stderr at EOF. The text is rendered from the v2
+//                     "stats" response JSON (serve/protocol.h), so it
+//                     cannot drift from what the protocol reports.
 //
 // Stateless requests are batched so duplicates coalesce; a session
 // message flushes the pending batch first (responses stay in request
 // order) and is then served synchronously — bursts on one session are
 // ordered by construction.
 //
-// Exit code: 0 on EOF, 2 on bad flags. Request-level failures are
-// responses, not exit codes — a serving process must outlive them.
+// Exit code: 0 on EOF, 2 on bad flags or an unusable --cache-dir.
+// Request-level failures are responses, not exit codes — a serving
+// process must outlive them.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -112,6 +125,9 @@ Options ParseOptions(int argc, char** argv) {
   flags.AddSwitch("--admission-charge-cost",
                   &opts.service.admission.charge_cost);
   flags.AddString("--admission-classes", &admission_classes);
+  flags.AddString("--cache-dir", &opts.service.cache_dir);
+  flags.AddSize("--disk-cache-bytes", &opts.service.disk_cache_bytes);
+  flags.AddSwitch("--cache-compact", &opts.service.cache_compact);
   flags.AddSwitch("--stats", &opts.stats);
   flags.Parse(argc, argv);
   opts.service.cache.max_bytes = cache_mb << 20;
@@ -133,7 +149,17 @@ Options ParseOptions(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options opts = ParseOptions(argc, argv);
-  serve::CertificationService service(opts.service);
+  std::unique_ptr<serve::CertificationService> service_holder;
+  try {
+    service_holder = std::make_unique<serve::CertificationService>(
+        opts.service);
+  } catch (const std::exception& e) {
+    // An unusable --cache-dir is a deployment error, not a request
+    // error: fail fast like a bad flag instead of serving cold.
+    std::cerr << "nocdr_serve: " << e.what() << "\n";
+    return 2;
+  }
+  serve::CertificationService& service = *service_holder;
   serve::SessionService sessions(service, opts.sessions);
   serve::ServeDispatcher dispatcher(service, sessions);
   std::size_t width = opts.service.threads;
@@ -177,9 +203,10 @@ int main(int argc, char** argv) {
     }
     try {
       serve::ServeMessage message = serve::ParseMessageLine(line);
-      if (message.is_session) {
-        // Session messages serve in stream order: flush the stateless
-        // batch first, then answer synchronously.
+      if (message.is_session || message.is_stats) {
+        // Session and stats messages serve in stream order: flush the
+        // stateless batch first, then answer synchronously (a stats
+        // response must reflect every request before it).
         flush();
         line_index = 0;
         std::cout << dispatcher.Handle(message) << "\n";
@@ -207,31 +234,14 @@ int main(int argc, char** argv) {
   }
 
   if (opts.stats) {
-    const serve::ServiceStats stats = service.Stats();
-    const serve::SessionServiceStats session_stats = sessions.Stats();
+    // Render the operator text through the protocol's own stats
+    // response — the same bytes a v2 {"type":"stats"} client gets — so
+    // this report and the introspection API cannot drift.
+    const std::string stats_line = serve::StatsResponseToJsonLine(
+        serve::StatsRequest{}, service.Stats(), sessions.Stats());
     std::cerr << "nocdr_serve: " << served << " served (" << session_messages
-              << " session messages): " << stats.hits << " hits, "
-              << stats.computations << " computed, " << stats.coalesced
-              << " coalesced, " << stats.rejected << " rejected, "
-              << stats.errors << " errors; cache " << stats.cache.entries
-              << " entries / " << stats.cache.bytes << " bytes, "
-              << stats.cache.evictions << " evictions; sessions "
-              << session_stats.opened << " opened, " << session_stats.closed
-              << " closed, " << session_stats.live_sessions << " live, "
-              << session_stats.open_rejected << " rejected, "
-              << session_stats.bursts_applied << " bursts applied, "
-              << session_stats.bursts_infeasible << " infeasible, "
-              << session_stats.epochs_served << " epochs served, "
-              << session_stats.errors << " errors\n";
-    for (const serve::sched::ClassCounters& c : stats.admission_classes) {
-      if (c.requests == 0) {
-        continue;  // configured but never used
-      }
-      std::cerr << "nocdr_serve: class " << c.name << ": rank " << c.rank
-                << ", " << c.requests << " requests, " << c.admitted
-                << " admitted, " << c.rejected << " rejected, "
-                << c.cost_admitted << " cost units admitted\n";
-    }
+              << " session messages)\n"
+              << serve::StatsTextFromJson(stats_line, "nocdr_serve: ");
   }
   return 0;
 }
