@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/trace.h"
 #include "runner/sweep.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
@@ -478,6 +479,54 @@ int main(int argc, char** argv) {
                     .Set("warm_ms", warm_ms)
                     .Set("cache_hit_speedup", hit_speedup));
     failed = failed || !all_hits || !payloads_match || hit_speedup < 10.0;
+  }
+
+  // ---- instrumentation overhead: warm hits, tracing off vs on ----
+  // Metrics instrumentation is compiled in unconditionally; what the
+  // deploy decision needs is the *marginal* cost of attaching a trace
+  // sink and tracing every request. Both arms serve the identical
+  // all-hit stream; the ratio is gated one-sided (trace_overhead) by
+  // tools/bench_compare.py so instrumentation cannot silently grow.
+  if (opts.perf) {
+    constexpr std::size_t kOverheadRounds = 5;
+    const auto warm_hit_ms = [&](obs::TraceSink* sink) {
+      serve::ServiceConfig config;
+      config.threads = opts.threads;
+      config.trace = sink;
+      serve::CertificationService service(config);
+      for (const serve::CertRequest& request : corpus) {
+        service.Serve(request);
+      }
+      std::vector<serve::CertRequest> stream = repeat_stream;
+      if (sink != nullptr) {
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+          stream[i].trace_id = "q" + std::to_string(i);
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t round = 0; round < kOverheadRounds; ++round) {
+        for (const serve::CertRequest& request : stream) {
+          service.Serve(request);
+        }
+      }
+      return MillisSince(t0) / kOverheadRounds;
+    };
+    const double untraced_ms = warm_hit_ms(nullptr);
+    obs::TraceSink sink(obs::TraceClockMode::kLogical);
+    const double traced_ms = warm_hit_ms(&sink);
+    const double overhead = untraced_ms > 0.0 ? traced_ms / untraced_ms : 0.0;
+    std::cout << "\ninstrumentation overhead: warm pass "
+              << FormatDouble(untraced_ms, 2) << " ms untraced vs "
+              << FormatDouble(traced_ms, 2) << " ms traced ("
+              << sink.TraceCount() << " traces) -> trace_overhead "
+              << FormatDouble(overhead, 2)
+              << "x (one-sided baseline gate in CI)\n";
+    json.AddRow(JsonObject()
+                    .Set("section", "obs_overhead")
+                    .Set("requests", repeat_stream.size())
+                    .Set("untraced_ms", untraced_ms)
+                    .Set("traced_ms", traced_ms)
+                    .Set("trace_overhead", overhead));
   }
 
   const std::string path = json.Write();

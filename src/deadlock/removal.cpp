@@ -5,11 +5,28 @@
 #include "cdg/cdg.h"
 #include "cdg/incremental.h"
 #include "deadlock/breaker.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace nocdr {
 
 namespace {
+
+// Stage indices for the removal StageTimer: the four phases of every
+// removal iteration, aggregated across the whole loop into one span per
+// stage (and one "removal.<stage>_us" metrics histogram each). Both
+// engines use the same stage names so trace analysis does not care
+// which engine ran; "invalidate" is the full CDG rebuild in the rebuild
+// engine and the incremental ApplyBreak in the dirty-finder engine.
+constexpr std::size_t kStageCycleSearch = 0;  // PickCycle / DirtyCycleFinder
+constexpr std::size_t kStageScore = 1;        // candidate scoring (PickBreak)
+constexpr std::size_t kStageApply = 2;        // BreakCycle application
+constexpr std::size_t kStageInvalidate = 3;   // CDG rebuild / ApplyBreak
+
+using obs::StageTimer;
+
+constexpr std::initializer_list<const char*> kRemovalStages = {
+    "cycle_search", "score", "apply", "invalidate"};
 
 /// Ascending union of the flow annotations on the cycle's edges — by the
 /// CDG definition, exactly the flows that can contribute to any cost
@@ -53,18 +70,29 @@ BreakCandidate PickBreak(const NocDesign& design, const CdgCycle& cycle,
 }
 
 /// Applies the chosen break and records it; shared by both engines.
+/// \p stages aggregates the scoring and application time (stage spans
+/// and "removal.*_us" histograms are emitted when it is destroyed).
 void ApplyAndRecord(NocDesign& design, const ChannelDependencyGraph& cdg,
                     const CdgCycle& cycle, const RemovalOptions& options,
-                    RemovalReport& report, BreakResult& applied_out) {
+                    StageTimer& stages, RemovalReport& report,
+                    BreakResult& applied_out) {
   if (report.iterations >= options.max_iterations) {
     throw AlgorithmLimitError("RemoveDeadlocks: iteration cap exceeded (" +
                               std::to_string(options.max_iterations) + ")");
   }
   const std::vector<FlowId> candidates = CycleFlowUnion(cdg, cycle);
-  const BreakCandidate chosen =
-      PickBreak(design, cycle, options.direction_policy, candidates);
-  applied_out = BreakCycle(design, cycle, chosen.edge_pos, chosen.direction,
-                           options.duplication, &candidates);
+  BreakCandidate chosen;
+  {
+    StageTimer::Section section(stages, kStageScore);
+    chosen = PickBreak(design, cycle, options.direction_policy, candidates);
+    stages.Count(kStageScore, "candidates", candidates.size());
+  }
+  {
+    StageTimer::Section section(stages, kStageApply);
+    applied_out = BreakCycle(design, cycle, chosen.edge_pos, chosen.direction,
+                             options.duplication, &candidates);
+    stages.Count(kStageApply, "vcs_added", applied_out.added_channels.size());
+  }
 
   // Sharing duplicates between flows must keep the realized VC count at
   // the predicted cost; a mismatch means the cost table lied.
@@ -90,14 +118,23 @@ void ApplyAndRecord(NocDesign& design, const ChannelDependencyGraph& cdg,
 RemovalReport RemoveDeadlocksRebuild(NocDesign& design,
                                      const RemovalOptions& options) {
   RemovalReport report;
+  StageTimer stages("removal", kRemovalStages);
   ChannelDependencyGraph cdg = ChannelDependencyGraph::Build(design);
-  std::optional<CdgCycle> cycle = PickCycle(cdg, options.cycle_policy);
+  std::optional<CdgCycle> cycle;
+  {
+    StageTimer::Section section(stages, kStageCycleSearch);
+    cycle = PickCycle(cdg, options.cycle_policy);
+  }
   report.initially_deadlock_free = !cycle.has_value();
 
   while (cycle) {
     BreakResult applied;
-    ApplyAndRecord(design, cdg, *cycle, options, report, applied);
-    cdg = ChannelDependencyGraph::Build(design);
+    ApplyAndRecord(design, cdg, *cycle, options, stages, report, applied);
+    {
+      StageTimer::Section section(stages, kStageInvalidate);
+      cdg = ChannelDependencyGraph::Build(design);
+    }
+    StageTimer::Section section(stages, kStageCycleSearch);
     cycle = PickCycle(cdg, options.cycle_policy);
   }
   return report;
@@ -110,21 +147,32 @@ RemovalReport RemoveDeadlocksOnCdg(NocDesign& design,
                                    DirtyCycleFinder& finder,
                                    const RemovalOptions& options) {
   RemovalReport report;
+  StageTimer stages("removal", kRemovalStages);
   const std::size_t bfs_before = finder.stats().bfs_runs;
-  std::optional<CdgCycle> cycle = finder.Pick(options.cycle_policy);
+  std::optional<CdgCycle> cycle;
+  {
+    StageTimer::Section section(stages, kStageCycleSearch);
+    cycle = finder.Pick(options.cycle_policy);
+  }
   report.initially_deadlock_free = !cycle.has_value();
 
   while (cycle) {
     BreakResult applied;
-    ApplyAndRecord(design, cdg, *cycle, options, report, applied);
-    cdg.ApplyBreak(design, applied.rerouted_flows, applied.old_routes);
+    ApplyAndRecord(design, cdg, *cycle, options, stages, report, applied);
+    {
+      StageTimer::Section section(stages, kStageInvalidate);
+      cdg.ApplyBreak(design, applied.rerouted_flows, applied.old_routes);
+    }
     if (options.paranoid_validation) {
       Require(cdg.SameDependencies(ChannelDependencyGraph::Build(design)),
               "RemoveDeadlocks: incremental CDG diverged from rebuild");
     }
+    StageTimer::Section section(stages, kStageCycleSearch);
     cycle = finder.Pick(options.cycle_policy);
   }
   report.cycle_bfs_runs = finder.stats().bfs_runs - bfs_before;
+  stages.Count(kStageCycleSearch, "bfs_runs",
+               finder.stats().bfs_runs - bfs_before);
   return report;
 }
 

@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace nocdr::serve {
 
 namespace {
@@ -348,6 +350,8 @@ void DiskCache::IndexPut(IndexShard& shard, std::uint64_t digest,
 
 std::optional<DiskCache::DecodedRecord> DiskCache::ReadRecord(
     const RecordLoc& loc) const {
+  static obs::Histogram& read_us = obs::Metrics().GetHistogram("disk.read_us");
+  obs::ScopedHistogramTimer timer(read_us);
   std::ifstream in(SegmentPath(loc.segment_id), std::ios::binary);
   if (!in) {
     return std::nullopt;
@@ -504,6 +508,9 @@ void DiskCache::Insert(std::uint64_t digest, std::string key_text,
   if (read_only_) {
     return;  // another live process owns the appender lock
   }
+  static obs::Histogram& write_us =
+      obs::Metrics().GetHistogram("disk.write_us");
+  obs::ScopedHistogramTimer timer(write_us);
   const std::string record = EncodeRecord(digest, key_text, value);
   if (record.size() > config_.max_bytes) {
     std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/build_info.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -352,6 +353,14 @@ ServeMessage ParseMessageInner(const std::string& line) {
     }
     return message;
   }
+  if (type == "metrics") {
+    message.is_metrics = true;
+    message.metrics.protocol_version = version;
+    if (const JsonValue* value = json.Find("id")) {
+      message.metrics.id = value->AsString();
+    }
+    return message;
+  }
   message.is_session = true;
   if (type == "session_open") {
     message.session = ParseSession(json, SessionOp::kOpen, version);
@@ -630,6 +639,7 @@ std::string StatsResponseToJsonLine(const StatsRequest& request,
     json.Set("id", request.id);
   }
   json.Set("status", StatusName(ServeStatus::kOk))
+      .SetRaw("provenance", BuildProvenanceJson().Dump())
       .Set("requests", service_stats.requests)
       .Set("hits", service_stats.hits)
       .Set("computations", service_stats.computations)
@@ -748,6 +758,95 @@ std::string StatsTextFromJson(const std::string& response_line,
   }
 }
 
+std::string MetricsRequestToJsonLine(const MetricsRequest& request) {
+  JsonObject json;
+  json.Set("protocol_version", request.protocol_version)
+      .Set("type", "metrics");
+  if (!request.id.empty()) {
+    json.Set("id", request.id);
+  }
+  return json.Dump();
+}
+
+std::string MetricsResponseToJsonLine(const MetricsRequest& request,
+                                      const obs::MetricsSnapshot& snapshot) {
+  JsonObject json;
+  json.Set("protocol_version", request.protocol_version)
+      .Set("type", "metrics");
+  if (!request.id.empty()) {
+    json.Set("id", request.id);
+  }
+  json.Set("status", StatusName(ServeStatus::kOk))
+      .SetRaw("provenance", BuildProvenanceJson().Dump())
+      .SetRaw("counters", obs::CountersToJson(snapshot).Dump())
+      .SetRaw("gauges", obs::GaugesToJson(snapshot).Dump())
+      .SetRaw("histograms", obs::HistogramsToJson(snapshot).Dump());
+  return json.Dump();
+}
+
+std::string MetricsTextFromJson(const std::string& response_line,
+                                const std::string& prefix) {
+  JsonValue json;
+  try {
+    json = JsonValue::Parse(response_line);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+  }
+  try {
+    const JsonValue* type = json.Find("type");
+    if (type == nullptr || type->AsString() != "metrics") {
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "MetricsTextFromJson: not a metrics response line");
+    }
+    std::string text;
+    const JsonValue& provenance = json.At("provenance");
+    text += prefix + "build " + provenance.At("git_sha").AsString() + " (" +
+            provenance.At("compiler").AsString() + ")\n";
+    for (const auto& [name, value] : json.At("counters").Members()) {
+      text += prefix + "counter " + name + " = " +
+              std::to_string(value.AsUint()) + "\n";
+    }
+    for (const auto& [name, value] : json.At("gauges").Members()) {
+      text += prefix + "gauge " + name + " = " +
+              std::to_string(value.AsInt()) + "\n";
+    }
+    for (const auto& [name, histogram] : json.At("histograms").Members()) {
+      const std::uint64_t count = histogram.At("count").AsUint();
+      const std::uint64_t sum = histogram.At("sum").AsUint();
+      // Reconstruct quantile bounds from the [le, count] pairs — the
+      // same arithmetic as HistogramSnapshot::Quantile, but over the
+      // wire shape, so this text is honest about what a remote
+      // consumer of the JSON can know.
+      const auto bound = [&](double q) -> std::uint64_t {
+        const auto want = static_cast<std::uint64_t>(
+            q * static_cast<double>(count) + 0.999999);
+        std::uint64_t seen = 0;
+        std::uint64_t last = 0;
+        for (const JsonValue& pair : histogram.At("buckets").Items()) {
+          last = pair.Items().at(0).AsUint();
+          seen += pair.Items().at(1).AsUint();
+          if (seen >= want) {
+            return last;
+          }
+        }
+        return last;
+      };
+      text += prefix + name + ": " + std::to_string(count) + " samples, sum " +
+              std::to_string(sum);
+      if (count > 0) {
+        text += ", p50 <= " + std::to_string(bound(0.5)) + ", p99 <= " +
+                std::to_string(bound(0.99));
+      }
+      text += "\n";
+    }
+    return text;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+  }
+}
+
 std::string ErrorResponseLine(int protocol_version, const std::string& id,
                               ErrorCode code, const std::string& message) {
   JsonObject json;
@@ -764,6 +863,10 @@ std::string ServeDispatcher::Handle(const ServeMessage& message) {
   if (message.is_stats) {
     return StatsResponseToJsonLine(message.stats, service_.Stats(),
                                    sessions_.Stats());
+  }
+  if (message.is_metrics) {
+    return MetricsResponseToJsonLine(message.metrics,
+                                     obs::Metrics().Snapshot());
   }
   if (message.is_session) {
     return SessionResponseToJsonLine(sessions_.Handle(message.session));

@@ -46,15 +46,22 @@
 //   {"protocol_version":2,"type":"session_snapshot","id":"c3","session":"s1"}
 //   {"protocol_version":2,"type":"session_close","id":"c4","session":"s1"}
 //
-// and one introspection type, "stats", which returns the service's
-// counters — request totals, every cache tier (front memo, memory,
-// disk), session totals and the per-class admission split — as one
-// structured JSON response:
+// and two introspection types. "stats" returns the service's counters
+// — request totals, every cache tier (front memo, memory, disk),
+// session totals and the per-class admission split — as one structured
+// JSON response:
 //
 //   {"protocol_version":2,"type":"stats","id":"c5"}
 //
-// The `nocdr_serve --stats` operator text is *rendered from* that JSON
-// response (StatsTextFromJson), so the two surfaces cannot drift.
+// "metrics" returns the process-wide metrics registry (obs/metrics.h)
+// — counters, gauges and log-bucketed latency histograms — plus the
+// build provenance (git sha, compiler, flags):
+//
+//   {"protocol_version":2,"type":"metrics","id":"c6"}
+//
+// The `nocdr_serve --stats` operator text is *rendered from* those
+// JSON responses (StatsTextFromJson / MetricsTextFromJson), so the
+// human and machine surfaces cannot drift.
 //
 // Session responses echo the message type and carry the session id,
 // epoch number, the delta fields of the operation and the epoch's
@@ -66,6 +73,7 @@
 
 #include <string>
 
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "serve/session.h"
 #include "util/error.h"
@@ -93,15 +101,26 @@ struct StatsRequest {
   std::string id;
 };
 
+/// The v2 metrics request: like stats, carries nothing but its id. The
+/// response is the process-wide metrics registry (obs/metrics.h) plus
+/// build provenance.
+struct MetricsRequest {
+  int protocol_version = kProtocolV2;
+  std::string id;
+};
+
 /// One parsed protocol line of either version: a stateless certify
-/// request, a session message or a stats request. At most one of
-/// is_session / is_stats is set; neither means certify.
+/// request, a session message, a stats request or a metrics request.
+/// At most one of is_session / is_stats / is_metrics is set; none means
+/// certify.
 struct ServeMessage {
   bool is_session = false;
   bool is_stats = false;
-  CertRequest certify;     // valid iff !is_session && !is_stats
+  bool is_metrics = false;
+  CertRequest certify;     // valid iff no flag is set
   SessionRequest session;  // valid iff is_session
   StatsRequest stats;      // valid iff is_stats
+  MetricsRequest metrics;  // valid iff is_metrics
 };
 
 /// Parses one line of either protocol version. Throws ProtocolError on
@@ -148,6 +167,26 @@ std::string StatsResponseToJsonLine(const StatsRequest& request,
 /// ProtocolError on a line that is not a stats response.
 std::string StatsTextFromJson(const std::string& response_line,
                               const std::string& prefix);
+
+/// Renders \p request as one v2 protocol line
+/// ({"protocol_version":2,"type":"metrics",...}).
+std::string MetricsRequestToJsonLine(const MetricsRequest& request);
+
+/// Renders the metrics response line: build provenance plus every
+/// registered counter, gauge and histogram
+/// ({"histograms":{"name":{"count":N,"sum":S,
+/// "buckets":[[le,count],...]},...}); "le" is the bucket's inclusive
+/// upper bound and zero-count buckets are omitted (obs/metrics.h).
+std::string MetricsResponseToJsonLine(const MetricsRequest& request,
+                                      const obs::MetricsSnapshot& snapshot);
+
+/// Renders the `nocdr_serve --stats` latency-histogram section from a
+/// metrics *response line* — counters, gauges and per-histogram
+/// count/sum/quantile-bound lines, derived from the JSON like
+/// StatsTextFromJson. Throws ProtocolError on a line that is not a
+/// metrics response.
+std::string MetricsTextFromJson(const std::string& response_line,
+                                const std::string& prefix);
 
 /// Renders the structured-error response line a malformed input line
 /// gets: {"protocol_version":V,"id":...,"status":"error",

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace nocdr::serve::sched {
 
 namespace {
@@ -155,11 +157,19 @@ bool AdmissionController::TryAdmit(const std::string& class_name,
       config_.charge_cost ? static_cast<double>(cost) : 1.0;
   const bool admitted =
       !config_.enabled || buckets_[bucket].tokens.TryTake(charge, now_us);
+  // Process-wide admission counters beside the per-class split: the
+  // {"type":"metrics"} response reads these without taking this lock.
+  static obs::Counter& admitted_total =
+      obs::Metrics().GetCounter("sched.admitted");
+  static obs::Counter& rejected_total =
+      obs::Metrics().GetCounter("sched.rejected");
   if (admitted) {
     ++counters->admitted;
     counters->cost_admitted += cost;
+    admitted_total.Add();
   } else {
     ++counters->rejected;
+    rejected_total.Add();
   }
   return admitted;
 }

@@ -1,13 +1,16 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "deadlock/verify.h"
 #include "noc/io.h"
+#include "obs/metrics.h"
 #include "runner/parallel_map.h"
+#include "serve/protocol.h"
 #include "util/canonical.h"
 #include "util/digest.h"
 #include "util/error.h"
@@ -20,6 +23,72 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Serve sections are timed into histograms only — no spans: they sit
+// on schedule-dependent paths (a repeat may hit the memo or coalesce
+// depending on interleaving), and request traces must stay
+// byte-deterministic.
+using TimedSection = obs::ScopedHistogramTimer;
+
+/// The serve-layer instruments, registered once (references stay valid
+/// for the process lifetime; see obs/metrics.h).
+struct ServeInstruments {
+  obs::Histogram& request_us = obs::Metrics().GetHistogram("serve.request_us");
+  obs::Histogram& hit_us = obs::Metrics().GetHistogram("serve.hit_us");
+  obs::Histogram& compute_us =
+      obs::Metrics().GetHistogram("serve.compute_us");
+  obs::Histogram& coalesced_us =
+      obs::Metrics().GetHistogram("serve.coalesced_us");
+  obs::Histogram& materialize_us =
+      obs::Metrics().GetHistogram("serve.materialize_us");
+  obs::Histogram& canonicalize_us =
+      obs::Metrics().GetHistogram("serve.canonicalize_us");
+  obs::Histogram& cache_lookup_us =
+      obs::Metrics().GetHistogram("serve.cache_lookup_us");
+  obs::Histogram& coalesce_wait_us =
+      obs::Metrics().GetHistogram("serve.coalesce_wait_us");
+};
+
+ServeInstruments& Instruments() {
+  static ServeInstruments* instruments = new ServeInstruments();
+  return *instruments;
+}
+
+/// Total request latency plus the per-outcome split. Outcome histograms
+/// are deliberately schedule-dependent (the same request can hit,
+/// compute or coalesce depending on interleaving) — that is the point:
+/// they show what the traffic actually experienced.
+void RecordRequestMetrics(const CertResponse& response) {
+  ServeInstruments& instruments = Instruments();
+  const auto us = static_cast<std::uint64_t>(response.service_ms * 1000.0);
+  instruments.request_us.Record(us);
+  switch (response.cache_outcome) {
+    case CacheOutcome::kHit:
+      instruments.hit_us.Record(us);
+      break;
+    case CacheOutcome::kComputed:
+      instruments.compute_us.Record(us);
+      break;
+    case CacheOutcome::kCoalesced:
+      instruments.coalesced_us.Record(us);
+      break;
+    case CacheOutcome::kNone:
+      break;
+  }
+}
+
+/// Trace id of the computation for canonical digest \p key: "k" + 16
+/// hex digits. One computation trace exists per unique key (the
+/// coalescer computes each key exactly once while no eviction
+/// interferes), so the set of computation traces — and each one's span
+/// tree — is deterministic even though *which* request triggered the
+/// computation is not.
+std::string KeyTraceId(std::uint64_t key) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "k%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
 }
 
 /// Encoding of every semantically relevant option (the fields
@@ -191,20 +260,32 @@ CachedCertification ComputeCertification(const NocDesign& canonical_design,
   NocDesign treated = canonical_design;
   out.channels_before = treated.topology.ChannelCount();
   if (request.treat) {
+    // The removal StageTimer (deadlock/removal.cpp) nests its
+    // cycle_search/score/apply/invalidate stage spans under this one.
+    obs::ScopedSpan span("treat");
     const RemovalReport report = RemoveDeadlocks(treated, request.options);
     out.initially_deadlock_free = report.initially_deadlock_free;
     out.iterations = report.iterations;
     out.vcs_added = report.vcs_added;
     out.flows_rerouted = report.flows_rerouted;
+    span.Attr("iterations", static_cast<std::uint64_t>(report.iterations));
+    span.Attr("vcs_added", static_cast<std::uint64_t>(report.vcs_added));
   }
   out.channels_after = treated.topology.ChannelCount();
-  const DeadlockCertificate certificate = CertifyDeadlockFreedom(treated);
+  DeadlockCertificate certificate;
+  {
+    obs::ScopedSpan span("certify");
+    certificate = CertifyDeadlockFreedom(treated);
+  }
   out.deadlock_free = certificate.deadlock_free;
   if (!request.treat) {
     out.initially_deadlock_free = certificate.deadlock_free;
   }
-  out.certificate_json = CertificateToJson(certificate);
-  out.treated_design_text = DesignText(treated);
+  {
+    obs::ScopedSpan span("serialize");
+    out.certificate_json = CertificateToJson(certificate);
+    out.treated_design_text = DesignText(treated);
+  }
   return out;
 }
 
@@ -263,7 +344,24 @@ CertResponse CertificationService::Guarded(
 }
 
 CertResponse CertificationService::Serve(const CertRequest& request) {
-  return Guarded(request, [&] { return ServeInner(request); });
+  // The request's root span. Only deterministic-payload attributes go
+  // on it (id, status, key, error code) — never cache_outcome or
+  // timings, which depend on interleaving and would break the
+  // byte-identical-traces contract. Timing lives in the metrics
+  // histograms below.
+  obs::ScopedTrace trace(config_.trace, request.trace_id, "request");
+  const CertResponse response =
+      Guarded(request, [&] { return ServeInner(request); });
+  RecordRequestMetrics(response);
+  if (trace.active()) {
+    trace.Attr("id", request.id);
+    trace.Attr("status", StatusName(response.status));
+    trace.Attr("key", response.key);
+    if (!response.error.ok()) {
+      trace.Attr("error", ErrorCodeName(response.error.code));
+    }
+  }
+  return response;
 }
 
 CertResponse CertificationService::ServeDesign(const NocDesign& design,
@@ -278,6 +376,10 @@ CertResponse CertificationService::ServeDesign(const NocDesign& design,
     return ServeMaterialized(design, request, {}, 0);
   });
 }
+
+// ServeDesign deliberately opens no root trace of its own: its callers
+// (sessions) either run under their message's trace — child spans nest
+// there via the thread-local context — or pass an empty trace_id.
 
 CertResponse CertificationService::ServeInner(const CertRequest& request) {
   CertResponse response;
@@ -316,6 +418,7 @@ CertResponse CertificationService::ServeInner(const CertRequest& request) {
 
   NocDesign design;
   try {
+    TimedSection timer(Instruments().materialize_us);
     design = MaterializeDesign(request, config_.envelope);
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -337,6 +440,7 @@ CertResponse CertificationService::ServeMaterialized(
 
   CanonicalDesign canonical;
   try {
+    TimedSection timer(Instruments().canonicalize_us);
     canonical = CanonicalizeDesign(design);
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -377,8 +481,13 @@ CertResponse CertificationService::ServeMaterialized(
   };
 
   // Fast path: a sharded, counted lookup with no global serialization.
-  if (const auto hit = cache_.Lookup(response.key, key_text)) {
-    FillPayload(response, *hit, request);
+  decltype(cache_.Lookup(response.key, key_text)) lookup_hit;
+  {
+    TimedSection timer(Instruments().cache_lookup_us);
+    lookup_hit = cache_.Lookup(response.key, key_text);
+  }
+  if (lookup_hit) {
+    FillPayload(response, *lookup_hit, request);
     response.cache_outcome = CacheOutcome::kHit;
     publish_front();
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -416,7 +525,16 @@ CertResponse CertificationService::ServeMaterialized(
       [&]() -> RequestCoalescer::ComputeFn {
         return [this, design = canonical.design, request,
                 key = response.key, key_text]() {
+          // The computation's own trace, keyed by canonical digest —
+          // not by requester. Runs on a pool thread whose context is
+          // empty (ScopedTrace saves/restores, so inline execution
+          // would also be correct); ComputeCertification's
+          // treat/certify/serialize spans and the removal stage spans
+          // nest under this root.
+          obs::ScopedTrace trace(config_.trace, KeyTraceId(key), "compute");
+          trace.Attr("treat", static_cast<std::uint64_t>(request.treat));
           CachedCertification value = certifier_(design, request);
+          trace.Attr("vcs_added", static_cast<std::uint64_t>(value.vcs_added));
           // Publish before the coalescer retires the in-flight entry —
           // the exactly-once-per-key argument lives on this ordering.
           cache_.Insert(key, key_text, value);
@@ -447,6 +565,7 @@ CertResponse CertificationService::ServeMaterialized(
       const bool leader =
           outcome.kind == RequestCoalescer::Outcome::Kind::kLeader;
       try {
+        TimedSection timer(Instruments().coalesce_wait_us);
         const CachedCertification value = outcome.future.get();
         FillPayload(response, value, request);
         response.cache_outcome =

@@ -53,6 +53,7 @@
 
 #include "deadlock/removal.h"
 #include "gen/generators.h"
+#include "obs/trace.h"
 #include "serve/cert_cache.h"
 #include "serve/coalescer.h"
 #include "serve/disk_cache.h"
@@ -106,6 +107,13 @@ struct CertRequest : DesignSpec {
   /// empty means sched::kDefaultClass. Never part of the cache key —
   /// the payload is class-independent.
   std::string priority_class;
+
+  /// Trace identity of this request (obs/trace.h); empty = untraced.
+  /// nocdr_serve derives it from the request's stdin stream index, so
+  /// it is stable across client thread counts. Observability metadata
+  /// only: never part of the fingerprint, the cache key or
+  /// ResponseDigest.
+  std::string trace_id;
 };
 
 enum class ServeStatus {
@@ -235,6 +243,14 @@ struct ServiceConfig {
   /// Compact the disk store at open (drop superseded and damaged
   /// records) before serving.
   bool cache_compact = false;
+  /// Trace collector (obs/trace.h); null disables span emission (the
+  /// tracing-off hot path costs one branch per request). Requests with
+  /// an empty trace_id stay untraced either way; certification
+  /// *computations* are always traced when a sink is present, keyed by
+  /// canonical digest ("k<hex>"), so the set of computation traces is
+  /// deterministic under the coalescer's exactly-once contract. Not
+  /// owned; must outlive the service.
+  obs::TraceSink* trace = nullptr;
 };
 
 class CertificationService {

@@ -9,6 +9,8 @@
 #include "deadlock/verify.h"
 #include "fault/reconfigure.h"
 #include "noc/io.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
 #include "util/canonical.h"
 #include "util/digest.h"
 
@@ -83,6 +85,14 @@ SessionService::~SessionService() = default;
 
 SessionResponse SessionService::Handle(const SessionRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // The message's root span. nocdr_serve serves session messages
+  // synchronously in stream order, so everything about this trace —
+  // which child spans run, the assigned session id, the epoch — is
+  // deterministic, and the full open/burst pipeline can carry spans
+  // (unlike stateless requests, whose inner path is schedule-
+  // dependent).
+  obs::ScopedTrace trace(service_.config().trace, request.trace_id,
+                         "session");
   SessionResponse response;
   // Failures are responses, never escaping exceptions — the server loop
   // and the campaign drive sessions from code that must not unwind.
@@ -100,6 +110,29 @@ SessionResponse SessionService::Handle(const SessionRequest& request) {
     ++stats_.errors;
   }
   response.service_ms = MillisSince(t0);
+  if (trace.active()) {
+    trace.Attr("id", request.id);
+    trace.Attr("op", SessionOpName(request.op));
+    trace.Attr("session", response.session_id);
+    trace.Attr("status", StatusName(response.status));
+    trace.Attr("epoch", response.epoch);
+    if (!response.error.ok()) {
+      trace.Attr("error", ErrorCodeName(response.error.code));
+    }
+  }
+  {
+    obs::MetricsRegistry& registry = obs::Metrics();
+    static obs::Histogram& open_us =
+        registry.GetHistogram("session.open_us");
+    static obs::Histogram& burst_us =
+        registry.GetHistogram("session.burst_us");
+    const auto us = static_cast<std::uint64_t>(response.service_ms * 1000.0);
+    if (request.op == SessionOp::kOpen) {
+      open_us.Record(us);
+    } else if (request.op == SessionOp::kBurst) {
+      burst_us.Record(us);
+    }
+  }
   return response;
 }
 
@@ -178,6 +211,7 @@ SessionResponse SessionService::Open(const SessionRequest& request) {
   NextHopTable table;
   NocDesign materialized;
   try {
+    obs::ScopedSpan span("open.materialize");
     materialized = MaterializeDesign(request.spec, service_.config().envelope,
                                      &table);
   } catch (const std::exception& e) {
@@ -191,8 +225,14 @@ SessionResponse SessionService::Open(const SessionRequest& request) {
 
   // Epoch-0 certification through the service: coalesces with
   // stateless clients of the same design, hits its cache, respects its
-  // admission bound.
-  const CertResponse treated = service_.ServeDesign(materialized, cert);
+  // admission bound. The computation itself runs (and is traced) under
+  // its canonical key on a pool thread; this span is the session's
+  // wait for it.
+  CertResponse treated;
+  {
+    obs::ScopedSpan span("open.certify");
+    treated = service_.ServeDesign(materialized, cert);
+  }
   if (treated.status != ServeStatus::kOk) {
     release_slot();
     std::lock_guard<std::mutex> lock(mutex_);
@@ -213,7 +253,11 @@ SessionResponse SessionService::Open(const SessionRequest& request) {
   // free), so this costs one canonicalization — and it seeds the
   // epoch-0 cache entry the session's snapshot text resolves to.
   std::istringstream in(treated.treated_design_text);
-  const CertResponse fixpoint = service_.ServeDesign(ReadDesign(in), cert);
+  CertResponse fixpoint;
+  {
+    obs::ScopedSpan span("open.fixpoint");
+    fixpoint = service_.ServeDesign(ReadDesign(in), cert);
+  }
   if (fixpoint.status != ServeStatus::kOk) {
     release_slot();
     std::lock_guard<std::mutex> lock(mutex_);
@@ -324,9 +368,16 @@ SessionResponse SessionService::Burst(const SessionRequest& request,
 
   fault::ReconfigureReport report;
   try {
+    // The incremental removal inside ApplyFaultBurst runs on this
+    // thread, so its cycle_search/score/apply/invalidate stage spans
+    // nest under this span.
+    obs::ScopedSpan span("burst.apply_faults");
     report = fault::ApplyFaultBurst(session.design, session.cdg,
                                     session.finder, session.state, burst,
                                     reconfigure);
+    span.Attr("events", static_cast<std::uint64_t>(burst.size()));
+    span.Attr("affected_flows",
+              static_cast<std::uint64_t>(report.affected_flows.size()));
   } catch (const std::exception& e) {
     // The live quadruple may be mid-mutation; the session is unusable.
     session.closed = true;
@@ -368,8 +419,11 @@ SessionResponse SessionService::Burst(const SessionRequest& request,
   // maintained CDG (RemoveDeadlocksOnCdg inside ApplyFaultBurst);
   // CertifyFromCdg proves the surviving graph acyclic at dirty-SCC
   // cost before the epoch's certificate is published.
-  const DeadlockCertificate live_certificate =
-      CertifyFromCdg(session.design, session.cdg);
+  DeadlockCertificate live_certificate;
+  {
+    obs::ScopedSpan span("burst.recertify");
+    live_certificate = CertifyFromCdg(session.design, session.cdg);
+  }
   if (!live_certificate.deadlock_free) {
     session.closed = true;
     {
@@ -381,7 +435,10 @@ SessionResponse SessionService::Burst(const SessionRequest& request,
                 "post-burst CDG has a cycle (session closed)");
   }
 
-  PublishEpoch(session, request);
+  {
+    obs::ScopedSpan span("burst.publish");
+    PublishEpoch(session, request);
+  }
 
   response.epoch = session.epoch;
   response.feasible = true;

@@ -92,6 +92,11 @@ struct SessionRequest {
 
   // ---- kOpen / kBurst (kSnapshot always returns the design) ----
   bool return_design = false;
+
+  /// Trace identity of this message (obs/trace.h); empty = untraced.
+  /// Like CertRequest::trace_id: observability metadata only, never
+  /// part of SessionResponseDigest.
+  std::string trace_id;
 };
 
 struct SessionResponse {

@@ -1,0 +1,38 @@
+// Build provenance: which exact binary produced this artifact?
+//
+// Every durable artifact the repo emits — BENCH_*.json baselines, v2
+// stats/metrics responses, `nocdr_serve --version` — carries the same
+// four fields, stamped once here so the answers cannot drift between
+// surfaces. The values are burned in at compile time via definitions
+// CMake scopes to build_info.cpp (see CMakeLists.txt): the git sha is
+// read at *configure* time, so an incremental rebuild after new
+// commits can lag until the next configure — acceptable for
+// provenance, which only needs to identify the build, not the
+// worktree.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+
+namespace nocdr {
+
+struct BuildInfo {
+  std::string git_sha;    // short sha, or "unknown" outside a checkout
+  std::string compiler;   // e.g. "GNU 12.2.0"
+  std::string compiler_flags;
+  std::string build_type;  // e.g. "Release"; empty when unset
+};
+
+/// The process's burned-in build info (immutable, never destroyed).
+const BuildInfo& GetBuildInfo();
+
+/// {"git_sha":...,"compiler":...,"compiler_flags":...,"build_type":...}
+/// — the fragment spliced into bench headers and serve responses.
+JsonObject BuildProvenanceJson();
+
+/// One-line human rendering for --version flags:
+///   "<tool> <sha> (<compiler>, <build_type>)".
+std::string BuildInfoLine(const std::string& tool_name);
+
+}  // namespace nocdr

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/build_info.h"
 #include "util/error.h"
 
 namespace nocdr {
@@ -398,6 +399,14 @@ const std::vector<JsonValue>& JsonValue::Items() const {
   return items_;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::Members()
+    const {
+  if (kind_ != Kind::kObject) {
+    KindError("an object");
+  }
+  return members_;
+}
+
 const JsonValue* JsonValue::Find(const std::string& key) const {
   if (kind_ != Kind::kObject) {
     KindError("an object");
@@ -431,6 +440,14 @@ std::string BenchJsonWriter::Write() const {
   if (!out) {
     return {};
   }
+  // Header row: build provenance, so every committed baseline records
+  // which binary produced it. tools/bench_compare.py skips rows with a
+  // "provenance" key when pairing measurements.
+  out << BuildProvenanceJson()
+             .Set("provenance", true)
+             .Set("bench", bench_name_)
+             .Dump()
+      << "\n";
   for (const std::string& row : rows_) {
     out << row << "\n";
   }

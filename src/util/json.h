@@ -87,6 +87,10 @@ class JsonValue {
   [[nodiscard]] const JsonValue* Find(const std::string& key) const;
   [[nodiscard]] const JsonValue& At(const std::string& key) const;
 
+  /// Object members in source order; throws unless kind() == kObject.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  Members() const;
+
  private:
   class Parser;
 

@@ -115,7 +115,7 @@ TEST(JsonParseTest, TypeMismatchesThrow) {
   EXPECT_EQ(v.At("n").AsInt(), -1);
 }
 
-TEST(BenchJsonWriterTest, WritesOneRowPerLineWithBenchTag) {
+TEST(BenchJsonWriterTest, WritesProvenanceHeaderThenOneRowPerLine) {
   BenchJsonWriter writer("jsontest_tmp");
   writer.AddRow(JsonObject().Set("a", std::size_t{1}));
   writer.AddRow(JsonObject().Set("b", "two"));
@@ -126,6 +126,14 @@ TEST(BenchJsonWriterTest, WritesOneRowPerLineWithBenchTag) {
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
   std::string line;
+  // The first line is the build-provenance header row; its values are
+  // build-dependent, so check shape rather than bytes.
+  ASSERT_TRUE(std::getline(in, line));
+  const JsonValue header = JsonValue::Parse(line);
+  EXPECT_TRUE(header.At("provenance").AsBool());
+  EXPECT_FALSE(header.At("git_sha").AsString().empty());
+  EXPECT_FALSE(header.At("compiler").AsString().empty());
+  EXPECT_EQ(header.At("bench").AsString(), "jsontest_tmp");
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line, "{\"a\":1,\"bench\":\"jsontest_tmp\"}");
   ASSERT_TRUE(std::getline(in, line));

@@ -1,0 +1,211 @@
+// End-to-end tests of the nocdr_serve and nocdr_trace binaries: exit
+// codes (documented in docs/OPERATIONS.md), --version provenance, and
+// the byte-determinism contract of --trace-out (same seeded request
+// stream -> identical trace files at any thread count, validated by
+// nocdr_trace --check).
+//
+// The binaries are located through the NOCDR_BIN_DIR compile
+// definition (CMake sets it to the build directory); if they have not
+// been built the tests skip rather than fail, so library-only builds
+// stay green.
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef NOCDR_BIN_DIR
+#define NOCDR_BIN_DIR "."
+#endif
+
+namespace nocdr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ServeBinary() {
+  return std::string(NOCDR_BIN_DIR) + "/nocdr_serve";
+}
+std::string TraceBinary() {
+  return std::string(NOCDR_BIN_DIR) + "/nocdr_trace";
+}
+
+/// Runs \p command through the shell and returns its exit code
+/// (-1 if the child did not exit normally).
+int RunShell(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (status == -1) {
+    return -1;
+  }
+#ifdef WIFEXITED
+  if (!WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+#else
+  return status;
+#endif
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// A small mixed request stream: repeats (cache hits + coalescing), a
+/// v2 session open/burst/close, and a metrics probe.
+std::string RequestStream() {
+  const char* lines[] = {
+      R"({"id":"r0","source":"ring","seed":1})",
+      R"({"id":"r1","source":"mesh","seed":2})",
+      R"({"id":"r2","source":"ring","seed":1})",
+      R"({"id":"r3","source":"fat_tree","seed":3})",
+      R"({"protocol_version":2,"type":"session_open","id":"c0",)"
+      R"("source":"mesh","seed":9})",
+      R"({"protocol_version":2,"type":"session_close","id":"c1",)"
+      R"("session":"s1"})",
+      R"({"id":"r4","source":"ring","seed":1})",
+      R"({"protocol_version":2,"type":"metrics","id":"m0"})",
+  };
+  std::string stream;
+  for (const char* line : lines) {
+    stream.append(line);
+    stream.push_back('\n');
+  }
+  return stream;
+}
+
+class ServeCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(ServeBinary())) {
+      GTEST_SKIP() << "nocdr_serve not built at " << ServeBinary();
+    }
+    dir_ = fs::path(::testing::TempDir()) / "nocdr_serve_cli";
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(ServeCliTest, BadFlagExitsTwo) {
+  EXPECT_EQ(RunShell(ServeBinary() + " --no-such-flag < /dev/null 2> " +
+                     Path("err.txt")),
+            2);
+}
+
+TEST_F(ServeCliTest, BadTraceSampleExitsTwo) {
+  EXPECT_EQ(RunShell(ServeBinary() + " --trace-sample 0 < /dev/null 2> " +
+                     Path("err.txt")),
+            2);
+  EXPECT_EQ(RunShell(ServeBinary() + " --trace-clock lunar < /dev/null 2> " +
+                     Path("err.txt")),
+            2);
+}
+
+TEST_F(ServeCliTest, UnusableCacheDirExitsTwo) {
+  // --cache-dir pointing at a regular file is a deployment error: the
+  // server must fail fast (exit 2), not serve cold.
+  const std::string file = Path("not_a_dir");
+  WriteFile(file, "occupied\n");
+  EXPECT_EQ(RunShell(ServeBinary() + " --cache-dir " + file +
+                     " < /dev/null 2> " + Path("err.txt")),
+            2);
+}
+
+TEST_F(ServeCliTest, CleanEofExitsZero) {
+  const std::string requests = Path("requests.jsonl");
+  WriteFile(requests, RequestStream());
+  EXPECT_EQ(RunShell(ServeBinary() + " < " + requests + " > " +
+                     Path("out.jsonl") + " 2> " + Path("err.txt")),
+            0);
+}
+
+TEST_F(ServeCliTest, VersionPrintsProvenanceAndExitsZero) {
+  const std::string out = Path("version.txt");
+  ASSERT_EQ(RunShell(ServeBinary() + " --version > " + out), 0);
+  const std::string text = ReadFile(out);
+  EXPECT_EQ(text.rfind("nocdr_serve ", 0), 0u) << text;
+  EXPECT_NE(text.find("("), std::string::npos) << text;
+}
+
+TEST_F(ServeCliTest, TraceBytesIdenticalAcrossThreadCountsAndRuns) {
+  const std::string requests = Path("requests.jsonl");
+  WriteFile(requests, RequestStream());
+  const auto run = [&](const std::string& trace, const std::string& threads) {
+    return RunShell(ServeBinary() + " --threads " + threads +
+                    " --trace-out " + trace + " < " + requests + " > " +
+                    Path("out.jsonl") + " 2> " + Path("err.txt"));
+  };
+  ASSERT_EQ(run(Path("t1.jsonl"), "1"), 0);
+  ASSERT_EQ(run(Path("t3.jsonl"), "3"), 0);
+  ASSERT_EQ(run(Path("t3b.jsonl"), "3"), 0);
+  const std::string bytes = ReadFile(Path("t1.jsonl"));
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, ReadFile(Path("t3.jsonl")));
+  EXPECT_EQ(bytes, ReadFile(Path("t3b.jsonl")));
+
+  if (!fs::exists(TraceBinary())) {
+    GTEST_SKIP() << "nocdr_trace not built at " << TraceBinary();
+  }
+  // The analyzer validates the whole file (exit 0) and rejects a
+  // corrupted span line (exit 1).
+  EXPECT_EQ(RunShell(TraceBinary() + " --in " + Path("t1.jsonl") +
+                     " --check > " + Path("check.txt")),
+            0);
+  WriteFile(Path("corrupt.jsonl"),
+            bytes + "{\"trace\":\"zz\",\"span\":0,\"parent\":-1,"
+                    "\"name\":\"r\",\"start\":9,\"end\":3}\n");
+  EXPECT_EQ(RunShell(TraceBinary() + " --in " + Path("corrupt.jsonl") +
+                     " --check 2> " + Path("err.txt")),
+            1);
+  EXPECT_EQ(RunShell(TraceBinary() + " --in " + Path("missing.jsonl") +
+                     " --check 2> " + Path("err.txt")),
+            2);
+}
+
+TEST_F(ServeCliTest, TraceSampleTracesEveryNthRequest) {
+  const std::string requests = Path("requests.jsonl");
+  WriteFile(requests, RequestStream());
+  ASSERT_EQ(RunShell(ServeBinary() + " --trace-sample 4 --trace-out " +
+                     Path("sampled.jsonl") + " < " + requests + " > " +
+                     Path("out.jsonl") + " 2> " + Path("err.txt")),
+            0);
+  const std::string bytes = ReadFile(Path("sampled.jsonl"));
+  // Stream indices 0 and 4 are sampled; computation traces (k...) are
+  // always recorded.
+  EXPECT_NE(bytes.find("\"trace\":\"q0\""), std::string::npos);
+  EXPECT_EQ(bytes.find("\"trace\":\"q1\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"trace\":\"q4\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"trace\":\"k"), std::string::npos);
+}
+
+TEST_F(ServeCliTest, UnwritableTraceOutExitsTwo) {
+  const std::string requests = Path("requests.jsonl");
+  WriteFile(requests, RequestStream());
+  EXPECT_EQ(RunShell(ServeBinary() + " --trace-out " +
+                     Path("no_such_dir") + "/t.jsonl < " + requests + " > " +
+                     Path("out.jsonl") + " 2> " + Path("err.txt")),
+            2);
+}
+
+}  // namespace
+}  // namespace nocdr

@@ -18,9 +18,17 @@ bench/baselines/ with per-metric tolerance classes:
                                      fresh < baseline * (1 - R), default
                                      R = 0.6 (machine noise tolerant;
                                      catches a collapsed optimization)
+  * overhead fields (*_overhead)  -> one-sided upper gate: fail when
+                                     fresh > baseline * (1 + R), default
+                                     R = 0.5; getting cheaper passes
+                                     (the instrumentation-cost gate)
   * other float fields            -> relative tolerance, default 0.25
                                      in either direction (throughput,
                                      latency, inflation)
+
+Every BENCH file starts with a provenance header row ({"provenance":
+true, "git_sha": ...}) stamped by BenchJsonWriter; it describes the
+build, not a measurement, and is skipped on both sides of the diff.
 
 Per-metric overrides: --tolerance metric=R (repeatable; R is a relative
 tolerance in either direction, e.g. --tolerance avg_packet_latency=0.5).
@@ -56,6 +64,15 @@ def is_speedup_metric(key: str) -> bool:
     return "speedup" in key
 
 
+def is_overhead_metric(key: str) -> bool:
+    """Instrumentation-cost ratios (bench_serve's trace_overhead).
+
+    Gated one-sided: instrumentation getting *more* expensive than
+    baseline*(1+R) fails, getting cheaper silently passes.
+    """
+    return key.endswith("_overhead")
+
+
 def is_latency_metric(key: str) -> bool:
     """Virtual-time latency/wait metrics (serve_load's SLO numbers).
 
@@ -83,9 +100,12 @@ def load_rows(path: Path) -> list:
             if not line:
                 continue
             try:
-                rows.append(json.loads(line))
+                row = json.loads(line)
             except json.JSONDecodeError as err:
                 raise SystemExit(f"{path}:{line_no}: malformed JSON: {err}")
+            if "provenance" in row:
+                continue  # build-provenance header, not a measurement
+            rows.append(row)
     return rows
 
 
@@ -162,6 +182,17 @@ class Comparison:
                     f"{metric}: {fresh:.2f}x fell below "
                     f"{floor:.2f}x ({1.0 - self.args.speedup_tolerance:.0%} "
                     f"of baseline {base:.2f}x)",
+                )
+            return
+        if is_overhead_metric(metric):
+            limit = base * (1.0 + self.args.overhead_tolerance)
+            if fresh > limit:
+                self.add_regression(
+                    bench,
+                    key,
+                    f"{metric}: {fresh:.3f}x exceeds "
+                    f"{limit:.3f}x ({1.0 + self.args.overhead_tolerance:.0%} "
+                    f"of baseline {base:.3f}x)",
                 )
             return
         if is_latency_metric(metric):
@@ -288,6 +319,13 @@ def main(argv):
         type=float,
         default=0.6,
         help="speedup metrics may drop to baseline*(1-R) (default 0.6)",
+    )
+    parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=0.5,
+        help="*_overhead metrics may grow to baseline*(1+R), one-sided "
+        "(default 0.5)",
     )
     parser.add_argument(
         "--latency-tolerance",

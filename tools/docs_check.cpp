@@ -1,23 +1,29 @@
-// nocdr_docs_check: keeps docs/PROTOCOL.md honest against the codec.
+// nocdr_docs_check: keeps the protocol and observability docs honest
+// against the code.
 //
 // docs/PROTOCOL.md promises that every fenced block tagged `jsonl` is
-// machine-checked. This tool is that check: it extracts each line of
-// every ```jsonl block and validates it against the *real* protocol
+// machine-checked, and docs/OBSERVABILITY.md promises the same for
+// blocks tagged `trace-jsonl`. This tool is that check: it extracts
+// each line of every tagged block and validates it against the *real*
 // implementation, so the documentation cannot drift from the code:
 //
-//   * a line without a "status" field is a request: it must parse via
-//     serve::ParseMessageLine (the exact entry point nocdr_serve uses);
-//   * a line with a "status" field is a response: it must be valid
-//     JSON, its status one of "ok" / "overloaded" / "error", any
+//   * a `jsonl` line without a "status" field is a request: it must
+//     parse via serve::ParseMessageLine (the exact entry point
+//     nocdr_serve uses);
+//   * a `jsonl` line with a "status" field is a response: it must be
+//     valid JSON, its status one of "ok" / "overloaded" / "error", any
 //     non-ok line must carry an {code, message} error object whose
 //     code serve::ParseErrorCode accepts, and a v2 "type" must be a
-//     known message type.
+//     known message type;
+//   * a `trace-jsonl` line is a trace-file header (validated by
+//     obs::ParseTraceHeaderLine) or a span (obs::ParseSpanLine — the
+//     same schema checker tools/nocdr_trace uses).
 //
 // Blocks tagged anything else (json, text, sh) are prose and skipped.
 // A minimum checked-line count guards against the failure mode where a
 // fence tag is renamed and the gate silently checks nothing.
 //
-//   ./nocdr_docs_check ../docs/PROTOCOL.md
+//   ./nocdr_docs_check ../docs/PROTOCOL.md ../docs/OBSERVABILITY.md
 //
 // Exit code: 0 all examples valid, 1 any drift (each offender printed
 // with its file:line), 2 usage/IO error. Registered as the docs_drift
@@ -28,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "util/json.h"
 
@@ -38,23 +45,27 @@ namespace {
 struct ExampleLine {
   std::size_t line_number = 0;
   std::string text;
+  bool is_trace = false;  // from a ```trace-jsonl fence
 };
 
-/// Pulls every line of every ```jsonl fenced block out of \p markdown.
+/// Pulls every line of every ```jsonl and ```trace-jsonl fenced block
+/// out of \p markdown.
 std::vector<ExampleLine> ExtractJsonlExamples(std::istream& markdown) {
   std::vector<ExampleLine> examples;
   std::string line;
   std::size_t line_number = 0;
-  bool in_jsonl = false;
+  bool in_block = false;
+  bool block_is_trace = false;
   while (std::getline(markdown, line)) {
     ++line_number;
     if (line.rfind("```", 0) == 0) {
       const std::string tag = line.substr(3);
-      in_jsonl = !in_jsonl && tag == "jsonl";
+      in_block = !in_block && (tag == "jsonl" || tag == "trace-jsonl");
+      block_is_trace = in_block && tag == "trace-jsonl";
       continue;
     }
-    if (in_jsonl && !line.empty()) {
-      examples.push_back({line_number, line});
+    if (in_block && !line.empty()) {
+      examples.push_back({line_number, line, block_is_trace});
     }
   }
   return examples;
@@ -89,7 +100,7 @@ void CheckResponseLine(const JsonValue& json) {
   }
   if (const JsonValue* type = json.Find("type")) {
     const std::string& name = type->AsString();
-    bool known = name == "certify" || name == "stats";
+    bool known = name == "certify" || name == "stats" || name == "metrics";
     for (const serve::SessionOp op :
          {serve::SessionOp::kOpen, serve::SessionOp::kBurst,
           serve::SessionOp::kSnapshot, serve::SessionOp::kClose}) {
@@ -102,37 +113,42 @@ void CheckResponseLine(const JsonValue& json) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // A fence tag rename must not silently turn the gate into a no-op:
-  // the real document carries well over this many checked lines.
-  constexpr std::size_t kMinimumExamples = 10;
-
-  const std::string path = argc > 1 ? argv[1] : "docs/PROTOCOL.md";
-  if (argc > 2) {
-    std::cerr << "usage: nocdr_docs_check [path/to/PROTOCOL.md]\n";
-    return 2;
+/// A documented trace-jsonl line: a header or a span, through the same
+/// validators tools/nocdr_trace uses.
+void CheckTraceLine(const std::string& text) {
+  if (obs::IsTraceHeaderLine(text)) {
+    obs::ParseTraceHeaderLine(text);
+  } else {
+    obs::ParseSpanLine(text);
   }
+}
+
+/// Checks one markdown file; returns its number of failed lines and
+/// adds its checked-line counts into the totals.
+std::size_t CheckFile(const std::string& path, std::size_t& requests,
+                      std::size_t& responses, std::size_t& trace_lines,
+                      std::size_t& total) {
   std::ifstream file(path);
   if (!file) {
     std::cerr << "nocdr_docs_check: cannot open " << path << "\n";
-    return 2;
+    std::exit(2);
   }
-
   const std::vector<ExampleLine> examples = ExtractJsonlExamples(file);
-  std::size_t requests = 0;
-  std::size_t responses = 0;
   std::size_t failures = 0;
   for (const ExampleLine& example : examples) {
     try {
-      const JsonValue json = JsonValue::Parse(example.text);
-      if (json.Find("status") != nullptr) {
-        CheckResponseLine(json);
-        ++responses;
+      if (example.is_trace) {
+        CheckTraceLine(example.text);
+        ++trace_lines;
       } else {
-        serve::ParseMessageLine(example.text);
-        ++requests;
+        const JsonValue json = JsonValue::Parse(example.text);
+        if (json.Find("status") != nullptr) {
+          CheckResponseLine(json);
+          ++responses;
+        } else {
+          serve::ParseMessageLine(example.text);
+          ++requests;
+        }
       }
     } catch (const std::exception& e) {
       ++failures;
@@ -141,22 +157,50 @@ int main(int argc, char** argv) {
                 << e.what() << "\n";
     }
   }
+  total += examples.size();
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A fence tag rename must not silently turn the gate into a no-op:
+  // the real documents carry well over this many checked lines.
+  constexpr std::size_t kMinimumExamples = 10;
+
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    paths.emplace_back(argv[i]);
+  }
+  if (paths.empty()) {
+    paths.emplace_back("docs/PROTOCOL.md");
+  }
+
+  std::size_t requests = 0;
+  std::size_t responses = 0;
+  std::size_t trace_lines = 0;
+  std::size_t total = 0;
+  std::size_t failures = 0;
+  for (const std::string& path : paths) {
+    failures += CheckFile(path, requests, responses, trace_lines, total);
+  }
 
   if (failures != 0) {
-    std::cerr << "nocdr_docs_check: " << failures << " of " << examples.size()
-              << " documented example line(s) drifted from the protocol "
+    std::cerr << "nocdr_docs_check: " << failures << " of " << total
+              << " documented example line(s) drifted from the "
                  "implementation\n";
     return 1;
   }
-  if (examples.size() < kMinimumExamples) {
-    std::cerr << "nocdr_docs_check: only " << examples.size()
-              << " jsonl example line(s) found in " << path
-              << " (expected at least " << kMinimumExamples
+  if (total < kMinimumExamples) {
+    std::cerr << "nocdr_docs_check: only " << total
+              << " example line(s) found across " << paths.size()
+              << " file(s) (expected at least " << kMinimumExamples
               << ") — were the fences retagged?\n";
     return 1;
   }
-  std::cout << "nocdr_docs_check: " << requests << " request and "
-            << responses << " response example line(s) in " << path
-            << " validated against the serve codec\n";
+  std::cout << "nocdr_docs_check: " << requests << " request, " << responses
+            << " response and " << trace_lines
+            << " trace example line(s) validated across " << paths.size()
+            << " file(s)\n";
   return 0;
 }

@@ -44,19 +44,32 @@
 //   --cache-compact   compact the disk store at open (drop superseded
 //                     and damaged records) before serving
 //   --stats           print service + session counters (every cache
-//                     tier and the per-class admission split) to
-//                     stderr at EOF. The text is rendered from the v2
-//                     "stats" response JSON (serve/protocol.h), so it
-//                     cannot drift from what the protocol reports.
+//                     tier and the per-class admission split) plus the
+//                     metrics registry — latency histograms included —
+//                     to stderr at EOF. The text is rendered from the
+//                     v2 "stats" / "metrics" response JSON
+//                     (serve/protocol.h), so it cannot drift from what
+//                     the protocol reports.
+//   --trace-out PATH  write a structured trace of the run (JSON Lines,
+//                     schema: docs/OBSERVABILITY.md) at EOF; analyze
+//                     with tools/nocdr_trace
+//   --trace-sample N  trace every Nth protocol line (default 1 = all;
+//                     certification computations are always traced
+//                     when --trace-out is set, keyed by cache key)
+//   --trace-clock logical|wall
+//                     logical (default) = byte-deterministic tick
+//                     counts; wall = real microseconds
+//   --version         print build provenance (git sha, compiler,
+//                     build type) and exit
 //
 // Stateless requests are batched so duplicates coalesce; a session
 // message flushes the pending batch first (responses stay in request
 // order) and is then served synchronously — bursts on one session are
 // ordered by construction.
 //
-// Exit code: 0 on EOF, 2 on bad flags or an unusable --cache-dir.
-// Request-level failures are responses, not exit codes — a serving
-// process must outlive them.
+// Exit code: 0 on EOF, 2 on bad flags, an unusable --cache-dir or an
+// unwritable --trace-out. Request-level failures are responses, not
+// exit codes — a serving process must outlive them.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -68,9 +81,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "serve/session.h"
+#include "util/build_info.h"
 
 using namespace nocdr;
 
@@ -81,6 +97,9 @@ struct Options {
   serve::SessionServiceConfig sessions;
   std::size_t batch = 0;
   bool stats = false;
+  std::string trace_out;
+  std::size_t trace_sample = 1;
+  obs::TraceClockMode trace_clock = obs::TraceClockMode::kLogical;
 };
 
 /// Parses "name:rank:weight" CSV entries (rank and weight optional,
@@ -113,6 +132,8 @@ Options ParseOptions(int argc, char** argv) {
   std::uint64_t admission_tokens = 0;
   std::uint64_t admission_burst = 0;
   std::string admission_classes;
+  std::string trace_clock = "logical";
+  bool version = false;
   flags.AddSize("--threads", &opts.service.threads);
   flags.AddSize("--shards", &opts.service.cache.shards);
   flags.AddSize("--cache-entries", &opts.service.cache.max_entries);
@@ -129,7 +150,23 @@ Options ParseOptions(int argc, char** argv) {
   flags.AddSize("--disk-cache-bytes", &opts.service.disk_cache_bytes);
   flags.AddSwitch("--cache-compact", &opts.service.cache_compact);
   flags.AddSwitch("--stats", &opts.stats);
+  flags.AddString("--trace-out", &opts.trace_out);
+  flags.AddSize("--trace-sample", &opts.trace_sample);
+  flags.AddString("--trace-clock", &trace_clock);
+  flags.AddSwitch("--version", &version);
   flags.Parse(argc, argv);
+  if (version) {
+    std::cout << BuildInfoLine("nocdr_serve") << "\n";
+    std::exit(0);
+  }
+  if (opts.trace_sample == 0) {
+    flags.Fail("--trace-sample must be >= 1");
+  }
+  try {
+    opts.trace_clock = obs::ParseTraceClock(trace_clock);
+  } catch (const std::exception& e) {
+    flags.Fail(e.what());
+  }
   opts.service.cache.max_bytes = cache_mb << 20;
   opts.service.admission.enabled = admission_tokens > 0;
   opts.service.admission.tokens_per_sec =
@@ -148,7 +185,15 @@ Options ParseOptions(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opts = ParseOptions(argc, argv);
+  Options opts = ParseOptions(argc, argv);
+  // The sink must outlive the service: computation closures on pool
+  // threads finish traces into it until the service's destructor joins
+  // them.
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (!opts.trace_out.empty()) {
+    trace_sink = std::make_unique<obs::TraceSink>(opts.trace_clock);
+    opts.service.trace = trace_sink.get();
+  }
   std::unique_ptr<serve::CertificationService> service_holder;
   try {
     service_holder = std::make_unique<serve::CertificationService>(
@@ -197,24 +242,35 @@ int main(int argc, char** argv) {
   };
 
   std::size_t line_index = 0;
+  std::uint64_t stream_index = 0;  // trace identity: position in stream
   while (std::getline(std::cin, line)) {
     if (line.empty()) {
       continue;
     }
+    // Root trace ids derive from the stream index ("q<index>"), never
+    // from scheduling — the property that makes logical traces of the
+    // same request file byte-identical at any --threads value.
+    std::string trace_id;
+    if (trace_sink != nullptr && stream_index % opts.trace_sample == 0) {
+      trace_id = "q" + std::to_string(stream_index);
+    }
+    ++stream_index;
     try {
       serve::ServeMessage message = serve::ParseMessageLine(line);
-      if (message.is_session || message.is_stats) {
-        // Session and stats messages serve in stream order: flush the
-        // stateless batch first, then answer synchronously (a stats
-        // response must reflect every request before it).
+      if (message.is_session || message.is_stats || message.is_metrics) {
+        // Session, stats and metrics messages serve in stream order:
+        // flush the stateless batch first, then answer synchronously
+        // (a stats response must reflect every request before it).
         flush();
         line_index = 0;
+        message.session.trace_id = std::move(trace_id);
         std::cout << dispatcher.Handle(message) << "\n";
         std::cout.flush();
         ++served;
         ++session_messages;
         continue;
       }
+      message.certify.trace_id = std::move(trace_id);
       batch.push_back(std::move(message.certify));
     } catch (const serve::ProtocolError&) {
       bad_lines.push_back(line_index);
@@ -234,14 +290,28 @@ int main(int argc, char** argv) {
   }
 
   if (opts.stats) {
-    // Render the operator text through the protocol's own stats
-    // response — the same bytes a v2 {"type":"stats"} client gets — so
-    // this report and the introspection API cannot drift.
+    // Render the operator text through the protocol's own stats and
+    // metrics responses — the same bytes a v2 {"type":"stats"} /
+    // {"type":"metrics"} client gets — so this report and the
+    // introspection API cannot drift.
     const std::string stats_line = serve::StatsResponseToJsonLine(
         serve::StatsRequest{}, service.Stats(), sessions.Stats());
+    const std::string metrics_line = serve::MetricsResponseToJsonLine(
+        serve::MetricsRequest{}, obs::Metrics().Snapshot());
     std::cerr << "nocdr_serve: " << served << " served (" << session_messages
               << " session messages)\n"
-              << serve::StatsTextFromJson(stats_line, "nocdr_serve: ");
+              << serve::StatsTextFromJson(stats_line, "nocdr_serve: ")
+              << serve::MetricsTextFromJson(metrics_line, "nocdr_serve: ");
+  }
+  if (trace_sink != nullptr) {
+    // Computation traces finish on pool threads; the service is still
+    // alive here, but EOF means every batch was flushed and every
+    // response written, so all traces are in the sink.
+    if (!trace_sink->WriteFile(opts.trace_out)) {
+      std::cerr << "nocdr_serve: cannot write --trace-out " << opts.trace_out
+                << "\n";
+      return 2;
+    }
   }
   return 0;
 }

@@ -1,0 +1,305 @@
+// nocdr_trace: validator and analyzer for nocdr_serve trace files.
+//
+// A trace file (written by `nocdr_serve --trace-out`, schema:
+// docs/OBSERVABILITY.md) is one header line plus one flat JSON object
+// per span. This tool re-validates every line with the same schema
+// checker the server's tests use (obs::ParseSpanLine), checks the
+// structural invariants the sink guarantees — span ids dense and
+// sorted within each trace, children contained in their parent's
+// interval — and then reports where the time went:
+//
+//   * per-stage breakdown: every span name with call count, total
+//     inclusive time and total self time (inclusive minus children);
+//   * top-N self-time table: the individual spans that cost the most;
+//   * critical-path decomposition: the slowest root traces, each
+//     broken into the span names that own its duration.
+//
+// "Time" is whatever the file's clock recorded: ticks (logical mode,
+// byte-deterministic event counts) or microseconds (wall mode, real
+// latencies — the mode to use when profiling a removal run). Spans
+// emitted by aggregating stage timers carry a "busy" attribute (time
+// actually inside the stage, as opposed to first-entry..last-exit);
+// the breakdown prefers it when present.
+//
+// Flags:
+//   --in PATH   trace file to read (required)
+//   --check     validate only: no report, exit status is the answer
+//   --top N     rows in the self-time / critical-path tables
+//               (default 10)
+//
+// Exit code: 0 on a valid trace, 1 on a schema or structure violation
+// (first violation reported on stderr with its line number), 2 on bad
+// flags or an unreadable file.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+using namespace nocdr;
+
+namespace {
+
+struct Options {
+  std::string in;
+  bool check = false;
+  std::size_t top = 10;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opts;
+  bench::FlagParser flags("nocdr_trace");
+  flags.AddString("--in", &opts.in);
+  flags.AddSwitch("--check", &opts.check);
+  flags.AddSize("--top", &opts.top);
+  flags.Parse(argc, argv);
+  if (opts.in.empty()) {
+    flags.Fail("--in is required");
+  }
+  return opts;
+}
+
+struct TraceTree {
+  std::string id;
+  std::vector<obs::ParsedSpan> spans;  // dense, index == span id
+  std::vector<std::uint64_t> self;     // self time per span
+};
+
+/// Inclusive duration of a span, preferring the stage timers' "busy"
+/// attribute over first-entry..last-exit.
+std::uint64_t SpanCost(const obs::ParsedSpan& span) {
+  const auto busy = span.uint_attrs.find("busy");
+  if (busy != span.uint_attrs.end()) {
+    return busy->second;
+  }
+  return span.end - span.start;
+}
+
+/// Structural invariants beyond the per-line schema: ids dense from 0
+/// in file order (the sink writes them sorted) and every child's
+/// interval inside its parent's. Throws InvalidModelError.
+void CheckStructure(const TraceTree& tree) {
+  for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+    const obs::ParsedSpan& span = tree.spans[i];
+    if (span.span != i) {
+      throw InvalidModelError("trace \"" + tree.id + "\": span ids not " +
+                              "dense/sorted (expected " + std::to_string(i) +
+                              ", got " + std::to_string(span.span) + ")");
+    }
+    if (span.parent >= 0) {
+      const obs::ParsedSpan& parent =
+          tree.spans[static_cast<std::size_t>(span.parent)];
+      if (span.start < parent.start || span.end > parent.end) {
+        throw InvalidModelError(
+            "trace \"" + tree.id + "\": span " + std::to_string(span.span) +
+            " [" + std::to_string(span.start) + ", " +
+            std::to_string(span.end) + "] escapes its parent [" +
+            std::to_string(parent.start) + ", " + std::to_string(parent.end) +
+            "]");
+      }
+    }
+  }
+}
+
+/// Self time = own cost minus the children's costs — the per-span
+/// share of the critical path. Costs are busy-preferring (SpanCost):
+/// aggregated stage spans cover first-entry..last-exit and so
+/// *overlap their siblings*; their "busy" attribute is the honest
+/// non-overlapping number.
+void ComputeSelfTimes(TraceTree& tree) {
+  tree.self.resize(tree.spans.size());
+  for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+    tree.self[i] = SpanCost(tree.spans[i]);
+  }
+  for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+    const obs::ParsedSpan& span = tree.spans[i];
+    if (span.parent >= 0) {
+      const auto parent = static_cast<std::size_t>(span.parent);
+      tree.self[parent] -= std::min(tree.self[parent], SpanCost(span));
+    }
+  }
+}
+
+struct StageRow {
+  std::uint64_t calls = 0;
+  std::uint64_t total = 0;  // inclusive (busy-preferring) time
+  std::uint64_t self = 0;
+};
+
+void PrintReport(const std::vector<TraceTree>& trees, obs::TraceClockMode clock,
+                 std::size_t top) {
+  const std::string unit =
+      clock == obs::TraceClockMode::kWall ? "us" : "ticks";
+
+  // Per-stage breakdown: aggregate by span name across every trace.
+  std::map<std::string, StageRow> stages;
+  for (const TraceTree& tree : trees) {
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      StageRow& row = stages[tree.spans[i].name];
+      row.calls += 1;
+      row.total += SpanCost(tree.spans[i]);
+      row.self += tree.self[i];
+    }
+  }
+  std::cout << "\nper-stage breakdown (" << unit << "):\n";
+  std::vector<std::pair<std::string, StageRow>> ordered(stages.begin(),
+                                                        stages.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.second.total != b.second.total ? a.second.total > b.second.total
+                                            : a.first < b.first;
+  });
+  std::cout << "  " << std::left << std::setw(28) << "stage" << std::right
+            << std::setw(8) << "spans" << std::setw(14) << "total"
+            << std::setw(14) << "self" << "\n";
+  for (const auto& [name, row] : ordered) {
+    std::cout << "  " << std::left << std::setw(28) << name << std::right
+              << std::setw(8) << row.calls << std::setw(14) << row.total
+              << std::setw(14) << row.self << "\n";
+  }
+
+  // Top-N spans by self time.
+  struct SelfRow {
+    std::uint64_t self = 0;
+    const TraceTree* tree = nullptr;
+    std::size_t span = 0;
+  };
+  std::vector<SelfRow> selves;
+  for (const TraceTree& tree : trees) {
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      selves.push_back({tree.self[i], &tree, i});
+    }
+  }
+  std::sort(selves.begin(), selves.end(),
+            [](const SelfRow& a, const SelfRow& b) {
+              if (a.self != b.self) {
+                return a.self > b.self;
+              }
+              return a.tree->id != b.tree->id ? a.tree->id < b.tree->id
+                                              : a.span < b.span;
+            });
+  std::cout << "\ntop self-time spans (" << unit << "):\n";
+  std::cout << "  " << std::left << std::setw(28) << "span" << std::setw(16)
+            << "trace" << std::right << std::setw(14) << "self" << "\n";
+  for (std::size_t i = 0; i < std::min(top, selves.size()); ++i) {
+    const SelfRow& row = selves[i];
+    std::cout << "  " << std::left << std::setw(28)
+              << row.tree->spans[row.span].name << std::setw(16)
+              << row.tree->id << std::right << std::setw(14) << row.self
+              << "\n";
+  }
+
+  // Critical-path decomposition: the slowest roots, each broken into
+  // the span names owning its duration. Within a single-threaded
+  // trace the critical path *is* the self-time partition of the root
+  // interval.
+  std::vector<const TraceTree*> by_duration;
+  for (const TraceTree& tree : trees) {
+    if (!tree.spans.empty()) {
+      by_duration.push_back(&tree);
+    }
+  }
+  std::sort(by_duration.begin(), by_duration.end(),
+            [](const TraceTree* a, const TraceTree* b) {
+              const std::uint64_t da = a->spans[0].end - a->spans[0].start;
+              const std::uint64_t db = b->spans[0].end - b->spans[0].start;
+              return da != db ? da > db : a->id < b->id;
+            });
+  std::cout << "\ncritical path of the slowest traces (" << unit << "):\n";
+  for (std::size_t t = 0; t < std::min(top, by_duration.size()); ++t) {
+    const TraceTree& tree = *by_duration[t];
+    const std::uint64_t duration = tree.spans[0].end - tree.spans[0].start;
+    std::map<std::string, std::uint64_t> path;  // name -> self total
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      path[tree.spans[i].name] += tree.self[i];
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> parts(path.begin(),
+                                                             path.end());
+    std::sort(parts.begin(), parts.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    std::cout << "  " << tree.id << " (" << tree.spans[0].name << ", "
+              << duration << " " << unit << "):";
+    for (const auto& [name, self] : parts) {
+      if (self == 0) {
+        continue;
+      }
+      std::cout << " " << name << "=" << self;
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = ParseOptions(argc, argv);
+  std::ifstream in(opts.in);
+  if (!in) {
+    std::cerr << "nocdr_trace: cannot read " << opts.in << "\n";
+    return 2;
+  }
+
+  obs::TraceClockMode clock = obs::TraceClockMode::kLogical;
+  std::vector<TraceTree> trees;
+  std::map<std::string, std::size_t> index;  // trace id -> trees slot
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t spans = 0;
+  bool saw_header = false;
+  try {
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) {
+        continue;
+      }
+      if (!saw_header) {
+        // The header must come first; everything after is spans.
+        clock = obs::ParseTraceHeaderLine(line);
+        saw_header = true;
+        continue;
+      }
+      if (obs::IsTraceHeaderLine(line)) {
+        throw InvalidModelError("duplicate trace header");
+      }
+      obs::ParsedSpan span = obs::ParseSpanLine(line);
+      const auto [it, inserted] = index.try_emplace(span.trace, trees.size());
+      if (inserted) {
+        trees.push_back({span.trace, {}, {}});
+      } else if (it->second != trees.size() - 1) {
+        // The sink writes each trace contiguously; interleaved trace
+        // ids mean the file was not produced (or was corrupted) by it.
+        throw InvalidModelError("trace \"" + span.trace +
+                                "\" is not contiguous");
+      }
+      trees[it->second].spans.push_back(std::move(span));
+      ++spans;
+    }
+    if (!saw_header) {
+      throw InvalidModelError("missing trace header line");
+    }
+    for (TraceTree& tree : trees) {
+      CheckStructure(tree);
+      ComputeSelfTimes(tree);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "nocdr_trace: " << opts.in << ":" << line_number << ": "
+              << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "nocdr_trace: " << opts.in << ": " << trees.size()
+            << " traces, " << spans << " spans, "
+            << obs::TraceClockName(clock) << " clock\n";
+  if (opts.check) {
+    return 0;
+  }
+  PrintReport(trees, clock, opts.top);
+  return 0;
+}

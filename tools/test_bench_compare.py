@@ -196,6 +196,70 @@ class FreshOnlyAdditionsAreInformational(GateHarness):
         self.assertEqual(self.run_gate(), 0)
 
 
+class ProvenanceHeaderRows(GateHarness):
+    def test_provenance_rows_are_skipped(self):
+        # BenchJsonWriter stamps a build-provenance header row into
+        # every BENCH file; it describes the build, not a measurement,
+        # so differing shas/compilers must not fail the gate.
+        provenance_base = {
+            "git_sha": "aaaa",
+            "compiler": "GNU 12",
+            "provenance": True,
+            "bench": "a",
+        }
+        provenance_fresh = dict(provenance_base, git_sha="bbbb")
+        write_rows(
+            self.baseline_dir / "BENCH_a.json",
+            [provenance_base, self.row(vcs=1)],
+        )
+        write_rows(
+            self.fresh_dir / "BENCH_a.json",
+            [provenance_fresh, self.row(vcs=1)],
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_provenance_only_in_fresh_is_fine(self):
+        # Baselines predating the provenance stamp still gate cleanly.
+        write_rows(self.baseline_dir / "BENCH_a.json", [self.row(vcs=1)])
+        write_rows(
+            self.fresh_dir / "BENCH_a.json",
+            [{"provenance": True, "git_sha": "cccc"}, self.row(vcs=1)],
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+
+class OverheadGateIsOneSided(GateHarness):
+    def test_overhead_growth_fails_and_shrink_passes(self):
+        # bench_serve's trace_overhead: instrumentation getting more
+        # expensive than baseline*(1+0.5) fails; cheaper always passes.
+        write_rows(
+            self.baseline_dir / "BENCH_serve.json",
+            [self.row(trace_overhead=1.2)],
+        )
+        write_rows(
+            self.fresh_dir / "BENCH_serve.json",
+            [self.row(trace_overhead=2.0)],
+        )
+        self.assertEqual(self.run_gate(), 1)  # 2.0 > 1.2 * 1.5
+        write_rows(
+            self.fresh_dir / "BENCH_serve.json",
+            [self.row(trace_overhead=1.7)],
+        )
+        self.assertEqual(self.run_gate(), 0)  # within the 50% headroom
+        write_rows(
+            self.fresh_dir / "BENCH_serve.json",
+            [self.row(trace_overhead=0.9)],
+        )
+        self.assertEqual(self.run_gate(), 0)  # improvements pass
+        write_rows(
+            self.fresh_dir / "BENCH_serve.json",
+            [self.row(trace_overhead=2.0)],
+        )
+        self.assertEqual(
+            self.run_gate(["--overhead-tolerance", "0.8"]), 0
+        )  # knob widens the gate
+
+
 class ToleranceClasses(GateHarness):
     def test_wall_clock_ignored_by_default(self):
         write_rows(
